@@ -1,0 +1,42 @@
+// Command benchgen writes the synthetic evaluation suite (12 MCNC-FSM-style
+// + 4 ISCAS'89-style circuits; see internal/bench) as BLIF files, one per
+// circuit, into the given directory.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"turbosyn"
+	"turbosyn/internal/bench"
+)
+
+func main() {
+	dir := flag.String("dir", "benchmarks", "output directory")
+	flag.Parse()
+	if err := os.MkdirAll(*dir, 0o755); err != nil {
+		fatal(err)
+	}
+	for _, cs := range bench.Suite() {
+		path := filepath.Join(*dir, cs.Name+".blif")
+		f, err := os.Create(path)
+		if err != nil {
+			fatal(err)
+		}
+		if err := turbosyn.WriteBLIF(f, cs.Circuit); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%-24s %s: %d gates, %d FFs\n", path, cs.Class,
+			cs.Circuit.NumGates(), cs.Circuit.NumFFs())
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchgen:", err)
+	os.Exit(1)
+}

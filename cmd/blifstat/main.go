@@ -1,0 +1,53 @@
+// Command blifstat prints structural statistics of BLIF circuits: gate and
+// register counts, fanin bounds, clock period, loop structure and the exact
+// MDR ratio — the quantities the synthesis algorithms optimize.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"turbosyn"
+	"turbosyn/internal/graph"
+	"turbosyn/internal/netlist"
+	"turbosyn/internal/retime"
+)
+
+func main() {
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: blifstat <file.blif>...")
+		os.Exit(2)
+	}
+	fmt.Printf("%-16s %7s %5s %5s %7s %7s %7s %9s\n",
+		"circuit", "gates", "ffs", "pis", "pos", "period", "sccs", "mdr")
+	for _, name := range flag.Args() {
+		f, err := os.Open(name)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "blifstat:", err)
+			os.Exit(1)
+		}
+		c, err := turbosyn.ReadBLIF(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "blifstat: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		print(c)
+	}
+}
+
+func print(c *netlist.Circuit) {
+	s := graph.StronglyConnected(c.Adj())
+	loops := 0
+	for comp := range s.Members {
+		if !s.IsTrivial(c.Adj(), comp) {
+			loops++
+		}
+	}
+	num, den := retime.MaxCycleRatio(c)
+	fmt.Printf("%-16s %7d %5d %5d %7d %7d %7d %6d/%d\n",
+		c.Name, c.NumGates(), c.NumFFs(), len(c.PIs), len(c.POs),
+		retime.Period(c), loops, num, den)
+}

@@ -1,0 +1,86 @@
+// Command retime applies Leiserson–Saxe retiming to a BLIF circuit without
+// changing the logic: minimum clock period under pure retiming, or under
+// retiming plus pipelining (-pipeline, which adds I/O latency and is bounded
+// only by the loops' MDR ratio).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"turbosyn"
+	"turbosyn/internal/netlist"
+	"turbosyn/internal/retime"
+)
+
+func main() {
+	var (
+		pipeline = flag.Bool("pipeline", false, "allow pipelining (extra output latency)")
+		out      = flag.String("o", "", "output file (default stdout)")
+		statOnly = flag.Bool("n", false, "report the achievable period, do not write a netlist")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: retime [flags] <in.blif | ->")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	var in io.Reader = os.Stdin
+	if name := flag.Arg(0); name != "-" {
+		f, err := os.Open(name)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		in = f
+	}
+	c, err := turbosyn.ReadBLIF(in)
+	if err != nil {
+		fatal(err)
+	}
+	report(c, *pipeline, *statOnly, *out)
+}
+
+func report(c *netlist.Circuit, pipeline, statOnly bool, out string) {
+	num, den := retime.MaxCycleRatio(c)
+	var (
+		phi int
+		r   []int
+	)
+	if pipeline {
+		phi, r = retime.MinPeriodPipelined(c)
+	} else {
+		phi, r = retime.MinPeriod(c)
+	}
+	fmt.Fprintf(os.Stderr, "%s: period %d -> %d (MDR %d/%d, %d registers)\n",
+		c.Name, retime.Period(c), phi, num, den, c.NumFFs())
+	if pipeline {
+		fmt.Fprintf(os.Stderr, "added latency per output: %v\n", retime.Latency(c, r))
+	}
+	if statOnly {
+		return
+	}
+	d, err := retime.Apply(c, r)
+	if err != nil {
+		fatal(err)
+	}
+	var w io.Writer = os.Stdout
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := turbosyn.WriteBLIF(w, d); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "retime:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,106 @@
+// Command turbosyn maps a BLIF sequential circuit onto K-LUTs with the
+// selected algorithm and writes the result as BLIF.
+//
+// Usage:
+//
+//	turbosyn -k 5 -alg turbosyn [-objective ratio|period] [-o out.blif] in.blif
+//
+// Reading from stdin ("-") is supported. The tool prints a one-line summary
+// (phi, LUT count, latency) on stderr and the mapped-and-realized netlist on
+// stdout or -o.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"turbosyn"
+)
+
+func main() {
+	var (
+		k         = flag.Int("k", 5, "LUT input count")
+		alg       = flag.String("alg", "turbosyn", "algorithm: turbosyn | turbomap | flowsyns")
+		objective = flag.String("objective", "ratio", "objective: ratio (retiming+pipelining) | period (retiming only)")
+		out       = flag.String("o", "", "output file (default stdout)")
+		noPack    = flag.Bool("nopack", false, "skip LUT packing")
+		raw       = flag.Bool("mapped", false, "emit the mapped network before retiming instead of the realized one")
+		noPLD     = flag.Bool("nopld", false, "disable positive loop detection (n^2 stopping rule)")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: turbosyn [flags] <in.blif | ->")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+
+	var in io.Reader = os.Stdin
+	if name := flag.Arg(0); name != "-" {
+		f, err := os.Open(name)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		in = f
+	}
+	c, err := turbosyn.ReadBLIF(in)
+	if err != nil {
+		fatal(err)
+	}
+
+	opts := turbosyn.Options{K: *k, NoPack: *noPack, NoPLD: *noPLD}
+	switch *alg {
+	case "turbosyn":
+		opts.Algorithm = turbosyn.TurboSYN
+	case "turbomap":
+		opts.Algorithm = turbosyn.TurboMap
+	case "flowsyns":
+		opts.Algorithm = turbosyn.FlowSYNS
+	default:
+		fatal(fmt.Errorf("unknown algorithm %q", *alg))
+	}
+	switch *objective {
+	case "ratio":
+		opts.Objective = turbosyn.MinRatio
+	case "period":
+		opts.Objective = turbosyn.MinPeriod
+	default:
+		fatal(fmt.Errorf("unknown objective %q", *objective))
+	}
+	opts.NoRealize = *raw
+
+	start := time.Now()
+	res, err := turbosyn.Synthesize(c, opts)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr,
+		"%s: %v phi=%d luts=%d latency=%v cpu=%v (in: %d gates, %d FFs)\n",
+		c.Name, res.Algorithm, res.Phi, res.LUTs, res.Latency,
+		time.Since(start).Round(time.Millisecond), c.NumGates(), c.NumFFs())
+
+	target := res.Realized
+	if *raw || target == nil {
+		target = res.Mapped
+	}
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := turbosyn.WriteBLIF(w, target); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "turbosyn:", err)
+	os.Exit(1)
+}

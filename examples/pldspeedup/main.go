@@ -1,0 +1,86 @@
+// pldspeedup demonstrates Section 4 of the paper: deciding that a target
+// clock ratio is INFEASIBLE is the expensive half of the binary search,
+// because without a certificate the label computation must run until the
+// conservative per-SCC n^2 stopping rule. The positive loop detection (PLD)
+// suite — runaway-label certificates plus predecessor-graph isolation —
+// answers the same question in O(n) iterations.
+//
+// The demo builds rings of unit-delay gates around a single register (MDR
+// ratio = ring length) and probes the infeasible target ratio 2 with PLD on
+// and off, reporting label-computation iterations and wall time.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"turbosyn"
+)
+
+// ring builds n 2-input AND gates in a loop around one register, each gate
+// also consuming its own primary input. The loop cone then has n+1 distinct
+// inputs, so low target ratios are genuinely infeasible for structural
+// mapping (LUTs cannot absorb the chain the way they would a buffer ring).
+func ring(n int) *turbosyn.Circuit {
+	c := turbosyn.NewCircuit(fmt.Sprintf("ring%d", n))
+	and2 := turbosyn.And(2)
+	pi0 := c.AddPI("x0")
+	first := c.AddGate("r0", and2, turbosyn.Fanin{From: pi0}, turbosyn.Fanin{From: pi0})
+	prev := first
+	for i := 1; i < n; i++ {
+		pi := c.AddPI(fmt.Sprintf("x%d", i))
+		prev = c.AddGate(fmt.Sprintf("r%d", i), and2,
+			turbosyn.Fanin{From: prev}, turbosyn.Fanin{From: pi})
+	}
+	c.Nodes[first].Fanins[1] = turbosyn.Fanin{From: prev, Weight: 1}
+	c.InvalidateCaches()
+	c.AddPO("z", prev, 0)
+	if err := c.Check(); err != nil {
+		log.Fatal(err)
+	}
+	return c
+}
+
+func main() {
+	k := flag.Int("k", 5, "LUT input count")
+	flag.Parse()
+
+	fmt.Println("probing the infeasible target ratio 2 on gate rings (TurboMap labels):")
+	fmt.Printf("%8s  %12s %12s  %12s %12s  %8s\n",
+		"ring", "iters(PLD)", "iters(n^2)", "time(PLD)", "time(n^2)", "speedup")
+	for _, n := range []int{24, 48, 96} {
+		c := ring(n)
+		// Ratio 2 needs the whole ring inside ~2 LUT levels per register:
+		// impossible for rings much longer than 2(K-1).
+		target := 2
+
+		on := turbosyn.Options{K: *k, Algorithm: turbosyn.TurboMap}
+		start := time.Now()
+		okOn, statsOn, err := turbosyn.Feasible(c, target, on)
+		if err != nil {
+			log.Fatal(err)
+		}
+		dOn := time.Since(start)
+
+		off := on
+		off.NoPLD = true
+		start = time.Now()
+		okOff, statsOff, err := turbosyn.Feasible(c, target, off)
+		if err != nil {
+			log.Fatal(err)
+		}
+		dOff := time.Since(start)
+
+		if okOn || okOff {
+			log.Fatalf("ring%d: target %d unexpectedly feasible", n, target)
+		}
+		speedup := float64(dOff) / float64(dOn)
+		fmt.Printf("%8s  %12d %12d  %12v %12v  %7.1fx\n",
+			c.Name, statsOn.Iterations, statsOff.Iterations,
+			dOn.Round(time.Microsecond), dOff.Round(time.Microsecond), speedup)
+	}
+	fmt.Println("\nthe n^2 stopping rule grows quadratically with the loop size;")
+	fmt.Println("PLD certificates keep infeasibility probes linear (10-50x at paper scale).")
+}

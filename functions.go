@@ -1,0 +1,40 @@
+package turbosyn
+
+import "turbosyn/internal/logic"
+
+// Function is a Boolean function as a truth table; gate nodes carry one
+// over their fanins (fanin i = variable i).
+type Function = logic.TT
+
+// And returns the n-input AND function.
+func And(n int) *Function { return logic.AndAll(n) }
+
+// Or returns the n-input OR function.
+func Or(n int) *Function { return logic.OrAll(n) }
+
+// Xor returns the n-input parity function.
+func Xor(n int) *Function { return logic.XorAll(n) }
+
+// Nand returns the n-input NAND function.
+func Nand(n int) *Function { return logic.NandAll(n) }
+
+// Nor returns the n-input NOR function.
+func Nor(n int) *Function { return logic.NorAll(n) }
+
+// Buf returns the 1-input identity.
+func Buf() *Function { return logic.Buf() }
+
+// Inv returns the 1-input inverter.
+func Inv() *Function { return logic.Inv() }
+
+// Mux returns the 3-input multiplexer x2 ? x1 : x0.
+func Mux() *Function { return logic.Mux21() }
+
+// ConstFunc returns the 0-input constant function.
+func ConstFunc(value bool) *Function { return logic.Const(0, value) }
+
+// FunctionFromBits builds an n-variable function from a little-endian bit
+// string of length 2^n ("0110" is the 2-input XOR).
+func FunctionFromBits(n int, bits string) (*Function, error) {
+	return logic.FromBits(n, bits)
+}

@@ -1,0 +1,3 @@
+module turbosyn
+
+go 1.22

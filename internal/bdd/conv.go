@@ -1,0 +1,48 @@
+package bdd
+
+import (
+	"fmt"
+
+	"turbosyn/internal/logic"
+)
+
+// FromTT builds the BDD of a truth table; variable i of the table maps to
+// manager variable i. The table may range over fewer variables than the
+// manager has.
+func (m *Manager) FromTT(t *logic.TT) Ref {
+	n := t.NumVars()
+	if n > m.nvar {
+		panic(fmt.Sprintf("bdd: FromTT of %d-var table in %d-var manager", n, m.nvar))
+	}
+	cur := make([]Ref, 1<<uint(n))
+	for i := range cur {
+		if t.Bit(i) {
+			cur[i] = True
+		} else {
+			cur[i] = False
+		}
+	}
+	// Fold in variables from the bottom of the order (highest index) up, so
+	// x0 ends on top. After processing variable v, cur is indexed by the
+	// assignment of variables [0, v).
+	for v := n - 1; v >= 0; v-- {
+		half := 1 << uint(v)
+		next := make([]Ref, half)
+		for a := 0; a < half; a++ {
+			next[a] = m.mk(int32(v), cur[a], cur[a+half])
+		}
+		cur = next
+	}
+	return cur[0]
+}
+
+// ToTT materializes f as a truth table over nvar variables.
+func (m *Manager) ToTT(f Ref, nvar int) *logic.TT {
+	t := logic.NewTT(nvar)
+	for i := 0; i < t.NumBits(); i++ {
+		if m.Eval(f, uint(i)) {
+			t.SetBit(i, true)
+		}
+	}
+	return t
+}

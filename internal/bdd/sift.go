@@ -1,0 +1,136 @@
+package bdd
+
+// Variable reordering. The decomposition literature (Lai–Pan–Pedram, which
+// the paper cites for its OBDD-based resynthesis) relies on moving candidate
+// bound sets to the top of the order and judging them by the cut width;
+// sifting provides the standard way to search good orders.
+//
+// The manager's order is fixed, so reordering works functionally: Reorder
+// returns the function re-expressed under a permutation, and Sift greedily
+// searches a permutation minimizing the BDD size.
+
+// Reorder returns f under the variable permutation perm, where perm[i]
+// gives the NEW level of current variable i, together with the node count
+// of the result.
+func (m *Manager) Reorder(f Ref, perm []int) Ref {
+	if len(perm) != m.nvar {
+		panic("bdd: Reorder: permutation length mismatch")
+	}
+	// Rebuild by Shannon expansion over the new order: at new level l we
+	// decide the variable old(l).
+	old := make([]int, m.nvar)
+	for o, n := range perm {
+		old[n] = o
+	}
+	type key struct {
+		f     Ref
+		level int
+	}
+	memo := make(map[key]Ref)
+	var rec func(g Ref, level int) Ref
+	rec = func(g Ref, level int) Ref {
+		if level == m.nvar {
+			// All variables decided: g must be constant over the rest...
+			// it is a terminal because every variable in its support was
+			// restricted away.
+			return g
+		}
+		if g <= True {
+			return g
+		}
+		k := key{g, level}
+		if r, ok := memo[k]; ok {
+			return r
+		}
+		v := old[level]
+		lo := rec(m.Restrict(g, v, false), level+1)
+		hi := rec(m.Restrict(g, v, true), level+1)
+		r := m.mk(int32(level), lo, hi)
+		memo[k] = r
+		return r
+	}
+	return rec(f, 0)
+}
+
+// Size returns the number of distinct nodes reachable from f (terminals
+// excluded).
+func (m *Manager) Size(f Ref) int {
+	seen := make(map[Ref]bool)
+	var rec func(Ref)
+	rec = func(g Ref) {
+		if g <= True || seen[g] {
+			return
+		}
+		seen[g] = true
+		n := m.nodes[g]
+		rec(n.lo)
+		rec(n.hi)
+	}
+	rec(f)
+	return len(seen)
+}
+
+// Sift greedily reorders to reduce Size(f): every variable in turn is moved
+// to the position that minimizes the node count (the classic sifting
+// heuristic, evaluated here functionally rather than by in-place swaps).
+// It returns the reordered function and the permutation applied (perm[i] =
+// new level of original variable i).
+func (m *Manager) Sift(f Ref) (Ref, []int) {
+	n := m.nvar
+	// order[l] = original variable at level l.
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	permOf := func(ord []int) []int {
+		p := make([]int, n)
+		for l, v := range ord {
+			p[v] = l
+		}
+		return p
+	}
+	best := m.Reorder(f, permOf(order))
+	bestSize := m.Size(best)
+	for _, v := range m.Support(f) {
+		// Current level of v.
+		cur := -1
+		for l, o := range order {
+			if o == v {
+				cur = l
+				break
+			}
+		}
+		bestLevel, bestLocal := cur, bestSize
+		for l := 0; l < n; l++ {
+			if l == cur {
+				continue
+			}
+			cand := moveVar(order, cur, l)
+			r := m.Reorder(f, permOf(cand))
+			if s := m.Size(r); s < bestLocal {
+				bestLocal, bestLevel = s, l
+			}
+		}
+		if bestLevel != cur {
+			order = moveVar(order, cur, bestLevel)
+			best = m.Reorder(f, permOf(order))
+			bestSize = m.Size(best)
+		}
+	}
+	return best, permOf(order)
+}
+
+// moveVar returns a copy of ord with the element at position from moved to
+// position to.
+func moveVar(ord []int, from, to int) []int {
+	out := make([]int, 0, len(ord))
+	v := ord[from]
+	for i, x := range ord {
+		if i == from {
+			continue
+		}
+		out = append(out, x)
+	}
+	out = append(out[:to], append([]int{v}, out[to:]...)...)
+	return out
+}

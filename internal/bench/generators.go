@@ -1,0 +1,218 @@
+// Package bench synthesizes the benchmark suite of the evaluation. The
+// paper uses 12 MCNC FSM benchmarks and 4 ISCAS'89 circuits prepared with
+// SIS and dmig; those netlists are not redistributable here, so the suite
+// consists of seeded synthetic counterparts matched in scale and, more
+// importantly, in the structural property the algorithms differ on: loops
+// that carry wide, skewed combinational cones (next-state SOPs, rippling
+// arithmetic with global feedback). See DESIGN.md, "Substitutions".
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+
+	"turbosyn/internal/logic"
+	"turbosyn/internal/netlist"
+)
+
+// FSMSpec sizes a synthetic finite-state machine.
+type FSMSpec struct {
+	StateBits int // registered state bits
+	Inputs    int
+	Outputs   int
+	// Cubes per next-state/output SOP; literals per cube are chosen
+	// randomly up to Span.
+	Cubes int
+	Span  int
+	// Mealy wires inputs into the output logic.
+	Mealy bool
+}
+
+// FSM generates a random machine: every state bit is computed by a skewed
+// two-level SOP over a random span of state bits and inputs (linear AND/OR
+// chains, the shape SIS-era netlists have before tree balancing), and
+// registered with one flipflop. Deterministic in rng.
+func FSM(rng *rand.Rand, name string, spec FSMSpec) *netlist.Circuit {
+	c := netlist.NewCircuit(name)
+	ins := make([]int, spec.Inputs)
+	for i := range ins {
+		ins[i] = c.AddPI(fmt.Sprintf("in%d", i))
+	}
+	// State bits arrive as registered edges from the next-state gates,
+	// which do not exist yet: create placeholder buffers per state bit to
+	// break the chicken-and-egg, then wire them to the SOP roots.
+	state := make([]int, spec.StateBits)
+	for i := range state {
+		state[i] = c.AddGate(fmt.Sprintf("st%d", i), logic.Const(0, false))
+	}
+	// signalPool for SOP literals: inputs and state bits.
+	pool := make([]netlist.Fanin, 0, len(ins)+len(state))
+	for _, id := range ins {
+		pool = append(pool, netlist.Fanin{From: id})
+	}
+	for _, id := range state {
+		pool = append(pool, netlist.Fanin{From: id})
+	}
+	next := make([]int, spec.StateBits)
+	for i := range next {
+		next[i] = skewedSOP(c, rng, fmt.Sprintf("ns%d", i), pool, spec.Cubes, spec.Span)
+	}
+	// Close the loops: state bit i is next bit i delayed by one register.
+	for i, st := range state {
+		g := c.Nodes[st]
+		g.Func = logic.Buf()
+		g.Fanins = []netlist.Fanin{{From: next[i], Weight: 1}}
+	}
+	c.InvalidateCaches()
+	for i := 0; i < spec.Outputs; i++ {
+		o := skewedSOP(c, rng, fmt.Sprintf("out%d", i), outputPool(pool, spec, len(ins)), spec.Cubes, spec.Span)
+		c.AddPO(fmt.Sprintf("po%d", i), o, 0)
+	}
+	c.InvalidateCaches()
+	return c
+}
+
+func outputPool(pool []netlist.Fanin, spec FSMSpec, nIns int) []netlist.Fanin {
+	if spec.Mealy {
+		return pool
+	}
+	return pool[nIns:] // Moore: outputs see only the state
+}
+
+// skewedSOP builds a two-level SOP as linear chains of 2-input gates:
+// each cube is a left-leaning AND chain over randomly chosen (possibly
+// inverted) literals, and the cubes accumulate through a left-leaning OR
+// chain. Returns the root gate id.
+func skewedSOP(c *netlist.Circuit, rng *rand.Rand, name string, pool []netlist.Fanin, cubes, span int) int {
+	if cubes < 1 {
+		cubes = 1
+	}
+	if span < 1 {
+		span = 1
+	}
+	var orChain int = -1
+	for q := 0; q < cubes; q++ {
+		nLit := 1 + rng.Intn(span)
+		var andChain int = -1
+		for l := 0; l < nLit; l++ {
+			lit := pool[rng.Intn(len(pool))]
+			if rng.Intn(3) == 0 { // inverted literal
+				inv := c.AddGate(fmt.Sprintf("%s$q%dn%d", name, q, l), logic.Inv(), lit)
+				lit = netlist.Fanin{From: inv}
+			}
+			if andChain == -1 {
+				b := c.AddGate(fmt.Sprintf("%s$q%dl%d", name, q, l), logic.Buf(), lit)
+				andChain = b
+			} else {
+				andChain = c.AddGate(fmt.Sprintf("%s$q%da%d", name, q, l),
+					logic.AndAll(2), netlist.Fanin{From: andChain}, lit)
+			}
+		}
+		if orChain == -1 {
+			orChain = andChain
+		} else {
+			orChain = c.AddGate(fmt.Sprintf("%s$o%d", name, q),
+				logic.OrAll(2), netlist.Fanin{From: orChain}, netlist.Fanin{From: andChain})
+		}
+	}
+	return orChain
+}
+
+// Accumulator builds a width-bit ripple-carry accumulator with global
+// XOR feedback taps (an LFSR-coupled adder): acc' = (acc + in) with the
+// low bit additionally XORed with high-order taps. The feedback taps turn
+// the whole datapath into one strongly connected component whose loops
+// carry the full ripple chain — the structure where resynthesis shines.
+func Accumulator(name string, width int, taps []int) *netlist.Circuit {
+	c := netlist.NewCircuit(name)
+	ins := make([]int, width)
+	for i := range ins {
+		ins[i] = c.AddPI(fmt.Sprintf("in%d", i))
+	}
+	// acc bits as placeholder buffers (registered from sum bits below).
+	acc := make([]int, width)
+	for i := range acc {
+		acc[i] = c.AddGate(fmt.Sprintf("acc%d", i), logic.Const(0, false))
+	}
+	sum := make([]int, width)
+	carry := -1
+	for i := 0; i < width; i++ {
+		a := netlist.Fanin{From: acc[i]}
+		b := netlist.Fanin{From: ins[i]}
+		x := c.AddGate(fmt.Sprintf("x%d", i), logic.XorAll(2), a, b)
+		if carry == -1 {
+			sum[i] = c.AddGate(fmt.Sprintf("s%d", i), logic.Buf(), netlist.Fanin{From: x})
+			carry = c.AddGate(fmt.Sprintf("c%d", i), logic.AndAll(2), a, b)
+		} else {
+			sum[i] = c.AddGate(fmt.Sprintf("s%d", i), logic.XorAll(2),
+				netlist.Fanin{From: x}, netlist.Fanin{From: carry})
+			g1 := c.AddGate(fmt.Sprintf("g%d", i), logic.AndAll(2), a, b)
+			g2 := c.AddGate(fmt.Sprintf("h%d", i), logic.AndAll(2),
+				netlist.Fanin{From: x}, netlist.Fanin{From: carry})
+			carry = c.AddGate(fmt.Sprintf("c%d", i), logic.OrAll(2),
+				netlist.Fanin{From: g1}, netlist.Fanin{From: g2})
+		}
+	}
+	// Feedback: next acc0 = sum0 XOR (XOR of tapped sum bits).
+	fb := sum[0]
+	for _, tp := range taps {
+		if tp <= 0 || tp >= width {
+			continue
+		}
+		fb = c.AddGate(fmt.Sprintf("fb%d", tp), logic.XorAll(2),
+			netlist.Fanin{From: fb}, netlist.Fanin{From: sum[tp]})
+	}
+	nextOf := func(i int) int {
+		if i == 0 {
+			return fb
+		}
+		return sum[i]
+	}
+	for i, id := range acc {
+		g := c.Nodes[id]
+		g.Func = logic.Buf()
+		g.Fanins = []netlist.Fanin{{From: nextOf(i), Weight: 1}}
+	}
+	c.InvalidateCaches()
+	c.AddPO("carryout", carry, 0)
+	c.AddPO("low", sum[0], 0)
+	c.AddPO("high", sum[width-1], 0)
+	return c
+}
+
+// LFSR builds a Galois LFSR of the given width with XOR taps; a light
+// sequential circuit whose loops map at ratio 1 (a sanity anchor in the
+// suite).
+func LFSR(name string, width int, taps []int) *netlist.Circuit {
+	c := netlist.NewCircuit(name)
+	en := c.AddPI("en")
+	bits := make([]int, width)
+	for i := range bits {
+		bits[i] = c.AddGate(fmt.Sprintf("b%d", i), logic.Const(0, false))
+	}
+	isTap := make(map[int]bool)
+	for _, t := range taps {
+		isTap[t] = true
+	}
+	// next b_i = b_{i+1} (XOR b_0 if tapped); next b_{w-1} = b_0 AND en
+	// (the enable keeps the machine input-driven).
+	for i, id := range bits {
+		g := c.Nodes[id]
+		g.Func = logic.Buf()
+		var src int
+		switch {
+		case i == width-1:
+			src = c.AddGate("fbtop", logic.AndAll(2),
+				netlist.Fanin{From: bits[0]}, netlist.Fanin{From: en})
+		case isTap[i]:
+			src = c.AddGate(fmt.Sprintf("t%d", i), logic.XorAll(2),
+				netlist.Fanin{From: bits[i+1]}, netlist.Fanin{From: bits[0]})
+		default:
+			src = bits[i+1]
+		}
+		g.Fanins = []netlist.Fanin{{From: src, Weight: 1}}
+	}
+	c.InvalidateCaches()
+	c.AddPO("out", bits[0], 0)
+	return c
+}

@@ -1,0 +1,155 @@
+// Package core implements the paper's contribution: the TurboMap and
+// TurboSYN label computations for K-LUT technology mapping of sequential
+// circuits under retiming (TurboMap) and under retiming + pipelining with
+// sequential functional decomposition (TurboSYN), together with the
+// predecessor-graph positive loop detection (PLD) that replaces the n^2
+// stopping rule with a ~6n one, and the mapping generation that turns
+// converged labels into a LUT network.
+//
+// For a target clock period / MDR ratio phi, node labels l are the optimal
+// LUT-level sequential arrival times: l(PI) = 0, and for a gate v,
+//
+//	l(v) = min over LUTs rooted at v of max over LUT inputs u^w of
+//	       l(u) - phi*w + 1,
+//
+// computed by the Pan–Liu style monotone lower-bound iteration: start at 1,
+// set L(v) = max over fanin edges of l(u) - phi*w(e), and raise l(v) to L(v)
+// when a K-feasible cut of height <= L(v) exists in the expanded circuit
+// E_v (TurboSYN additionally tries to resynthesize wider, lower cuts via
+// Roth–Karp decomposition), and to L(v)+1 otherwise. The iteration either
+// converges (phi is achievable; pipelined objectives need nothing more,
+// clock-period objectives also require l(po) <= phi at every output) or
+// grows without bound (a critical loop beats phi).
+package core
+
+import (
+	"fmt"
+
+	"turbosyn/internal/netlist"
+)
+
+// Options configures the label computation and mapping generation.
+type Options struct {
+	// K is the LUT input count (default 5).
+	K int
+	// Cmax bounds the width of resynthesis cuts (default 15, as in the
+	// paper; at most logic.MaxVars).
+	Cmax int
+	// MaxH bounds how far below L(v) the decomposition searches for cuts
+	// (the paper iterates h = 0, 1, ...; default 4).
+	MaxH int
+	// LowDepth is the expansion depth through cut candidates (0 means the
+	// default of 3; pass a negative value for the strict TurboMap frontier
+	// that stops at the first candidate).
+	LowDepth int
+	// MaxExpand caps a single expansion (default 2500 replicas). Bigger
+	// caps only matter for exotic cuts: when an expansion overflows, the
+	// label rounds up — always valid, at worst slightly suboptimal.
+	MaxExpand int
+	// Decompose enables TurboSYN's sequential functional decomposition;
+	// false gives TurboMap.
+	Decompose bool
+	// PLD enables predecessor-graph positive loop detection. Without it,
+	// infeasible targets fall back to the conservative per-SCC n^2 bound.
+	PLD bool
+	// Pipelined selects the MDR-ratio objective (critical loops only);
+	// false selects the clock-period objective (outputs must meet phi too).
+	Pipelined bool
+	// IterBudget, when positive, aborts a probe (reporting infeasible)
+	// once the label computation exceeds this many iterations. Used by the
+	// ablation harness to bound the conservative n^2 stopping rule.
+	IterBudget int
+	// Relax enables the paper's label-relaxation area optimization: after
+	// convergence, resynthesized covers whose labels can rise without
+	// breaking feasibility revert to single structural LUTs.
+	Relax bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.K == 0 {
+		o.K = 5
+	}
+	if o.Cmax == 0 {
+		o.Cmax = 15
+	}
+	if o.MaxH == 0 {
+		o.MaxH = 4
+	}
+	switch {
+	case o.LowDepth < 0:
+		o.LowDepth = 0 // explicit "stop at the first candidate frontier"
+	case o.LowDepth == 0:
+		o.LowDepth = 3
+	}
+	return o
+}
+
+// DefaultOptions returns the TurboSYN defaults used by the paper's
+// experiments (K=5, Cmax=15, PLD on, pipelined MDR objective).
+func DefaultOptions() Options {
+	return Options{Decompose: true, PLD: true, Pipelined: true, Relax: true}.withDefaults()
+}
+
+// Stats counts the work a run performed.
+type Stats struct {
+	Iterations     int // label-update passes (over SCC members)
+	CutChecks      int // flow-based K-cut existence checks
+	Decompositions int // successful sequential decompositions
+	DecompAttempts int // attempted sequential decompositions
+	PLDChecks      int // predecessor-graph reachability checks
+	PLDHits        int // infeasibility detected by PLD
+}
+
+// Add accumulates s2 into s.
+func (s *Stats) Add(s2 Stats) {
+	s.Iterations += s2.Iterations
+	s.CutChecks += s2.CutChecks
+	s.Decompositions += s2.Decompositions
+	s.DecompAttempts += s2.DecompAttempts
+	s.PLDChecks += s2.PLDChecks
+	s.PLDHits += s2.PLDHits
+}
+
+// Replica is a node of an expanded circuit recorded in a cover: circuit
+// node Orig observed through W registers.
+type Replica struct {
+	Orig int
+	W    int
+}
+
+// Result is a complete mapping run outcome.
+type Result struct {
+	// Phi is the achieved target (clock period or MDR ratio).
+	Phi int
+	// Labels holds the converged labels at Phi.
+	Labels []int
+	// Mapped is the K-LUT network, cycle-accurate equivalent to the input
+	// (registers still in their label-implied positions; retime it to
+	// realize Phi).
+	Mapped *netlist.Circuit
+	// LUTs is the LUT count of Mapped.
+	LUTs int
+	// OrigOf maps each node of Mapped to the input-circuit node whose
+	// output stream it reproduces: PIs to PIs, root LUTs to the covered
+	// gates, POs to POs; decomposition-internal LUTs have -1 (they never
+	// source registers). Used for initial-state alignment (sim package).
+	OrigOf []int
+	// Stats accumulates work over every probe of the search.
+	Stats Stats
+	// Opts echoes the configuration used.
+	Opts Options
+}
+
+func validateInput(c *netlist.Circuit, opts Options) error {
+	if err := c.Check(); err != nil {
+		return err
+	}
+	if !c.IsKBounded(opts.K) {
+		return fmt.Errorf("core: circuit %s is not %d-bounded (max fanin %d); run decomp.KBound first",
+			c.Name, opts.K, c.MaxFanin())
+	}
+	if opts.K < 2 {
+		return fmt.Errorf("core: K = %d is too small", opts.K)
+	}
+	return nil
+}

@@ -1,0 +1,127 @@
+package core
+
+import (
+	"fmt"
+
+	"turbosyn/internal/logic"
+	"turbosyn/internal/netlist"
+)
+
+// generate materializes the mapped LUT network from converged labels and
+// cover records. The result is cycle-accurate equivalent to the input
+// circuit: LUT_v computes v's sequential function, and an edge from LUT_u
+// into LUT_v carries the register count w of the covered replica u^w.
+// Retiming the result (pipelined or not) realizes the target phi.
+func (s *state) generate() (*netlist.Circuit, []int, error) {
+	c := s.c
+	m := netlist.NewCircuit(c.Name + "_mapped")
+	mapped := make([]int, c.NumNodes())
+	for i := range mapped {
+		mapped[i] = -1
+	}
+	// Discover the needed gates from the POs through the recorded cuts.
+	needed := make([]bool, c.NumNodes())
+	var stack []int
+	want := func(id int) {
+		if c.Nodes[id].Kind == netlist.Gate && !needed[id] {
+			needed[id] = true
+			stack = append(stack, id)
+		}
+	}
+	for _, po := range c.POs {
+		want(c.Nodes[po].Fanins[0].From)
+	}
+	var neededIDs []int
+	for len(stack) > 0 {
+		id := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		neededIDs = append(neededIDs, id)
+		rec := s.recs[id]
+		if rec.tree == nil {
+			return nil, nil, fmt.Errorf("core: no cover recorded for needed gate %q", c.Nodes[id].Name)
+		}
+		for _, r := range rec.cut {
+			want(r.Orig)
+		}
+	}
+	// PIs first, then placeholder LUT roots (so feedback cuts resolve),
+	// then materialize the trees.
+	for _, pi := range c.PIs {
+		mapped[pi] = m.AddPI(c.Nodes[pi].Name)
+	}
+	for _, id := range neededIDs {
+		mapped[id] = m.AddGate(c.Nodes[id].Name, logic.Const(0, false))
+	}
+	for _, id := range neededIDs {
+		if err := s.materialize(m, mapped, id); err != nil {
+			return nil, nil, err
+		}
+	}
+	for _, po := range c.POs {
+		f := c.Nodes[po].Fanins[0]
+		if mapped[f.From] < 0 {
+			return nil, nil, fmt.Errorf("core: PO %q driver unmapped", c.Nodes[po].Name)
+		}
+		id := m.AddPO(c.Nodes[po].Name, mapped[f.From], f.Weight)
+		mapped[po] = id
+	}
+	m.InvalidateCaches()
+	if err := m.Check(); err != nil {
+		return nil, nil, fmt.Errorf("core: generated network is malformed: %v", err)
+	}
+	if !m.IsKBounded(s.opts.K) {
+		return nil, nil, fmt.Errorf("core: generated network exceeds K=%d (max fanin %d)",
+			s.opts.K, m.MaxFanin())
+	}
+	// Origin map for initial-state alignment.
+	origOf := make([]int, m.NumNodes())
+	for i := range origOf {
+		origOf[i] = -1
+	}
+	for orig, mid := range mapped {
+		if mid >= 0 {
+			origOf[mid] = orig
+		}
+	}
+	return m, origOf, nil
+}
+
+// materialize builds gate id's LUT tree inside m. The tree's root replaces
+// the placeholder created for id; internal nodes become fresh LUTs.
+func (s *state) materialize(m *netlist.Circuit, mapped []int, id int) error {
+	rec := s.recs[id]
+	tree := rec.tree
+	// Tree references: leaves 0..NumInputs-1 are cut replicas; internal
+	// node i is tree.NumInputs+i. refFanin maps a reference to the fanin
+	// realizing it in m.
+	refFanin := make([]netlist.Fanin, tree.NumInputs+len(tree.Nodes))
+	for j, r := range rec.cut {
+		from := mapped[r.Orig]
+		if from < 0 {
+			return fmt.Errorf("core: cut input %q of %q unmapped",
+				s.c.Nodes[r.Orig].Name, s.c.Nodes[id].Name)
+		}
+		refFanin[j] = netlist.Fanin{From: from, Weight: r.W}
+	}
+	for i, nd := range tree.Nodes {
+		fanins := make([]netlist.Fanin, len(nd.Children))
+		for k, ch := range nd.Children {
+			fanins[k] = refFanin[ch]
+		}
+		ref := tree.NumInputs + i
+		if ref == tree.Root() {
+			// Fill the placeholder.
+			g := m.Nodes[mapped[id]]
+			g.Func = nd.Func
+			g.Fanins = fanins
+		} else {
+			name := fmt.Sprintf("%s$d%d", s.c.Nodes[id].Name, i)
+			for m.IDByName(name) != -1 {
+				name += "'"
+			}
+			gid := m.AddGate(name, nd.Func, fanins...)
+			refFanin[ref] = netlist.Fanin{From: gid}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,434 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"turbosyn/internal/cut"
+	"turbosyn/internal/decomp"
+	"turbosyn/internal/expand"
+	"turbosyn/internal/graph"
+	"turbosyn/internal/logic"
+	"turbosyn/internal/netlist"
+)
+
+// coverRec is the realization recorded for a gate on the final (consistent)
+// pass: the chosen cut of E_v and the LUT tree implementing the cone over
+// the cut signals. Structural covers have a single-node tree.
+type coverRec struct {
+	cut  []Replica
+	tree *decomp.Tree
+}
+
+// state carries one feasibility probe.
+type state struct {
+	c      *netlist.Circuit
+	opts   Options
+	phi    int
+	labels []int
+	order  []int // combinational topological order (good sweep order)
+	sccs   *graph.SCCs
+
+	// Decision cache: a gate is re-decided only when its L changed since
+	// the last decision. Decisions also depend on deeper labels, so a
+	// cache hit can be stale — which is why convergence is only declared
+	// by a full fresh recording pass (see run).
+	lastL   []int
+	decided []bool
+	// Decomposition backoff: nodes whose label keeps rising (a diverging
+	// or slowly converging loop) skip repeated expensive resynthesis
+	// attempts during fast passes; recording passes always attempt, so the
+	// final labels and covers never depend on the backoff.
+	bumps      []int
+	nextDecomp []int
+	// decompCache memoizes Decompose outcomes by cone function, K and
+	// depth budget (the bound-set priority is only a search heuristic, so
+	// any cached tree is valid for every priority). Cone functions recur
+	// heavily across label iterations; this cache removes the repeated
+	// Roth-Karp window scans.
+	decompCache map[string]*decomp.Tree
+
+	recs  []coverRec
+	stats Stats
+}
+
+const labelInf = int(1) << 28
+
+func newState(c *netlist.Circuit, phi int, opts Options) *state {
+	s := &state{
+		c:           c,
+		opts:        opts,
+		phi:         phi,
+		labels:      make([]int, c.NumNodes()),
+		order:       c.CombTopoOrder(),
+		sccs:        graph.StronglyConnected(c.Adj()),
+		lastL:       make([]int, c.NumNodes()),
+		decided:     make([]bool, c.NumNodes()),
+		bumps:       make([]int, c.NumNodes()),
+		nextDecomp:  make([]int, c.NumNodes()),
+		decompCache: make(map[string]*decomp.Tree),
+		recs:        make([]coverRec, c.NumNodes()),
+	}
+	for i := range s.lastL {
+		s.lastL[i] = -labelInf
+	}
+	for _, n := range c.Nodes {
+		switch {
+		case n.Kind == netlist.PI:
+			s.labels[n.ID] = 0
+		case n.Kind == netlist.Gate && len(n.Fanins) == 0:
+			s.labels[n.ID] = 0 // constant source, available like a PI
+		default:
+			s.labels[n.ID] = 1 // the paper's initial lower bound
+		}
+	}
+	return s
+}
+
+// computeL returns L(v) = max over fanin edges of l(u) - phi*w(e).
+func (s *state) computeL(v int) int {
+	L := -labelInf
+	for _, f := range s.c.Nodes[v].Fanins {
+		if x := s.labels[f.From] - s.phi*f.Weight; x > L {
+			L = x
+		}
+	}
+	return L
+}
+
+// run performs the label computation. It returns true when phi is feasible
+// (labels converged, and for non-pipelined objectives every PO meets phi).
+// On success the labels are converged and recs is consistent with them.
+func (s *state) run() bool {
+	// Sound runaway certificate: in any feasible mapping the needed LUTs
+	// number at most the gate count, simple LUT-level paths bound arrivals
+	// by that count, and loops contribute nothing positive — so a label
+	// beyond NumNodes()+2 certifies a positive loop. This check and the
+	// 6n-iteration PLD below together form the fast detection suite that
+	// Options.PLD toggles; without it only the conservative per-SCC n^2
+	// stopping rule of SeqMapII remains (the paper's 10-50x comparison).
+	maxLabel := s.c.NumNodes() + 2
+	// Process SCCs in topological order; labels upstream are final before
+	// a component starts iterating.
+	memberOrder := make([][]int, s.sccs.NumComps())
+	for _, id := range s.order { // comb topo order within each component
+		comp := s.sccs.Comp[id]
+		memberOrder[comp] = append(memberOrder[comp], id)
+	}
+	for _, comp := range s.sccs.Order {
+		members := memberOrder[comp]
+		updatable := members[:0:0]
+		for _, id := range members {
+			n := s.c.Nodes[id]
+			if n.Kind != netlist.PI && len(n.Fanins) > 0 {
+				updatable = append(updatable, id)
+			}
+		}
+		if len(updatable) == 0 {
+			continue
+		}
+		n := len(members)
+		// Per-SCC runaway bound: labels inside the component are supported
+		// by at most base (the best external support) plus one unit per
+		// member along a simple path. Tighter than the global bound, so
+		// diverging components stop pumping sooner.
+		base := 0
+		inComp := make(map[int]bool, n)
+		for _, id := range members {
+			inComp[id] = true
+		}
+		for _, id := range members {
+			for _, f := range s.c.Nodes[id].Fanins {
+				if !inComp[f.From] {
+					if v := s.labels[f.From] - s.phi*f.Weight; v > base {
+						base = v
+					}
+				}
+			}
+		}
+		sccCap := base + n + 2
+		if sccCap > maxLabel {
+			sccCap = maxLabel
+		}
+		pldFrom := 6*n + 6 // Theorem 2: isolation is meaningful from 6n on
+		capIter := n*n + 4
+		if s.opts.PLD && capIter < pldFrom+4 {
+			capIter = pldFrom + 4
+		}
+		converged := false
+		for iter := 0; iter < capIter; iter++ {
+			if s.opts.IterBudget > 0 && s.stats.Iterations >= s.opts.IterBudget {
+				return false
+			}
+			s.stats.Iterations++
+			changed := false
+			for _, id := range updatable {
+				if s.update(id, false) {
+					changed = true
+				}
+			}
+			if !changed {
+				// Recording pass: re-decide everything at the converged
+				// labels and keep the covers. A change here means the
+				// Gauss-Seidel sweep raced itself; keep iterating.
+				s.stats.Iterations++
+				for _, id := range updatable {
+					if s.update(id, true) {
+						changed = true
+					}
+				}
+				if !changed {
+					converged = true
+					break
+				}
+			}
+			if s.opts.PLD {
+				for _, id := range updatable {
+					if s.labels[id] > sccCap {
+						s.stats.PLDHits++
+						return false // runaway labels certify a positive loop
+					}
+				}
+				if iter+1 >= pldFrom {
+					s.stats.PLDChecks++
+					if s.sccIsolated(comp) {
+						s.stats.PLDHits++
+						return false
+					}
+				}
+			}
+		}
+		if !converged {
+			return false // conservative stopping rule hit
+		}
+	}
+	if !s.opts.Pipelined {
+		for _, po := range s.c.POs {
+			if s.labels[po] > s.phi {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// update re-decides node id's label. record requests cover recording (used
+// on the final fresh pass). It reports whether the label changed.
+func (s *state) update(id int, record bool) bool {
+	n := s.c.Nodes[id]
+	L := s.computeL(id)
+	if n.Kind == netlist.PO {
+		nl := L
+		if nl < 1 {
+			nl = 1
+		}
+		if nl > s.labels[id] {
+			s.labels[id] = nl
+			return true
+		}
+		return false
+	}
+	if !record && s.decided[id] && s.lastL[id] == L {
+		return false
+	}
+	s.decided[id] = true
+	s.lastL[id] = L
+	newLabel, rec := s.decide(id, L, record)
+	if record {
+		s.recs[id] = rec
+	}
+	if newLabel > s.labels[id] {
+		s.labels[id] = newLabel
+		s.bumps[id]++
+		return true
+	}
+	return false
+}
+
+// decide computes the label for gate id given L, optionally producing the
+// cover record.
+func (s *state) decide(id, L int, record bool) (int, coverRec) {
+	xopts := expand.Options{LowDepth: s.opts.LowDepth, MaxNodes: s.opts.MaxExpand}
+	// Structural K-cut of height <= L?
+	s.stats.CutChecks++
+	if x, built := expand.Build(s.c, id, s.labels, s.phi, L, xopts); built {
+		if res, ok := cut.KCut(x, s.opts.K); ok {
+			var rec coverRec
+			if record {
+				rec = s.structuralRec(x, res)
+			}
+			return L, rec
+		}
+	}
+	// TurboSYN: resynthesize a wider, lower cut. Fast passes back off on
+	// label-pumping nodes (see the field comment); recording passes always
+	// attempt.
+	if s.opts.Decompose && (record || s.bumps[id] < 8 || L >= s.nextDecomp[id]) {
+		if tree, cutReps, ok := s.tryDecompose(id, L, xopts); ok {
+			s.nextDecomp[id] = 0
+			return L, coverRec{cut: cutReps, tree: tree}
+		}
+		step := s.bumps[id] / 2
+		if step < 1 {
+			step = 1
+		}
+		s.nextDecomp[id] = L + step
+	}
+	// Settle for L+1; the direct-fanin cut realizes it.
+	var rec coverRec
+	if record {
+		x, built := expand.Build(s.c, id, s.labels, s.phi, L+1, xopts)
+		if !built {
+			panic("core: cannot expand for the trivial cut")
+		}
+		res, ok := cut.KCut(x, s.opts.K)
+		if !ok {
+			panic("core: the direct-fanin cut must exist at height L+1")
+		}
+		rec = s.structuralRec(x, res)
+	}
+	return L + 1, rec
+}
+
+// tryDecompose searches cuts of heights L-1, L-2, ... (width <= Cmax) whose
+// cone function decomposes into a tree of K-LUTs of depth h+1, realizing
+// label L (the paper's sequential functional decomposition).
+func (s *state) tryDecompose(id, L int, xopts expand.Options) (*decomp.Tree, []Replica, bool) {
+	if s.opts.Cmax > logic.MaxVars {
+		panic("core: Cmax exceeds logic.MaxVars")
+	}
+	for h := 1; h <= s.opts.MaxH; h++ {
+		x, built := expand.Build(s.c, id, s.labels, s.phi, L-h, xopts)
+		if !built {
+			return nil, nil, false
+		}
+		res, ok := cut.MinCut(x, s.opts.Cmax)
+		if !ok {
+			return nil, nil, false // even Cmax-wide cuts are gone; deeper is worse
+		}
+		s.stats.DecompAttempts++
+		fn, reps := s.coneFunction(x, res)
+		// Bound-set priority: earliest effective arrival first, so early
+		// signals sink toward the leaves (the paper's FlowSYN ordering).
+		prio := make([]int, len(reps))
+		for i := range prio {
+			prio[i] = i
+		}
+		eff := func(r Replica) int { return s.labels[r.Orig] - s.phi*r.W }
+		sort.SliceStable(prio, func(a, b int) bool { return eff(reps[prio[a]]) < eff(reps[prio[b]]) })
+		key := fmt.Sprintf("%d|%d|%s", s.opts.K, h+1, fn.String())
+		tree, cached := s.decompCache[key]
+		if !cached {
+			var ok bool
+			tree, ok = decomp.Decompose(fn, s.opts.K, h+1, prio)
+			if !ok {
+				tree = nil
+			}
+			s.decompCache[key] = tree
+		}
+		if tree == nil {
+			continue
+		}
+		s.stats.Decompositions++
+		return tree, reps, true
+	}
+	return nil, nil, false
+}
+
+// structuralRec converts a structural cut into a cover record: a
+// single-node tree computing the cone function over the cut signals.
+func (s *state) structuralRec(x *expand.Expanded, res *cut.Result) coverRec {
+	fn, reps := s.coneFunction(x, res)
+	children := make([]int, len(reps))
+	for i := range children {
+		children[i] = i
+	}
+	tree := &decomp.Tree{NumInputs: len(reps)}
+	tree.Nodes = append(tree.Nodes, decomp.TreeNode{Func: fn, Children: children})
+	return coverRec{cut: reps, tree: tree}
+}
+
+// coneFunction computes the cone's Boolean function over the cut signals
+// (variable j = cut replica j) and the replica list.
+func (s *state) coneFunction(x *expand.Expanded, res *cut.Result) (*logic.TT, []Replica) {
+	m := len(res.Cut)
+	if m > logic.MaxVars {
+		panic(fmt.Sprintf("core: cone with %d inputs", m))
+	}
+	varOf := make(map[int]int, m)
+	reps := make([]Replica, m)
+	for j, repID := range res.Cut {
+		varOf[repID] = j
+		reps[j] = Replica{Orig: x.Nodes[repID].Orig, W: x.Nodes[repID].W}
+	}
+	memo := make(map[int]*logic.TT, len(res.Cone))
+	var eval func(repID int) *logic.TT
+	eval = func(repID int) *logic.TT {
+		if j, ok := varOf[repID]; ok {
+			return logic.Var(m, j)
+		}
+		if tt, ok := memo[repID]; ok {
+			return tt
+		}
+		orig := s.c.Nodes[x.Nodes[repID].Orig]
+		children := x.Fanins[repID]
+		if len(children) != len(orig.Fanins) {
+			panic("core: cone interior replica lacks expanded fanins")
+		}
+		subs := make([]*logic.TT, len(children))
+		for i, ch := range children {
+			subs[i] = eval(ch)
+		}
+		var tt *logic.TT
+		if len(subs) == 0 {
+			tt = projectConst(orig.Func, m)
+		} else {
+			tt = orig.Func.ComposeBool(subs)
+		}
+		memo[repID] = tt
+		return tt
+	}
+	return eval(expand.Root), reps
+}
+
+// projectConst lifts a 0-var constant function into an m-var table.
+func projectConst(f *logic.TT, m int) *logic.TT {
+	_, v := f.IsConst()
+	return logic.Const(m, v)
+}
+
+// sccIsolated reports whether no node of the component is supported from
+// the ground in the predecessor graph: ground nodes are PIs, constants and
+// nodes with label <= 1; a support edge e(u,v) is present when
+// l(u) - phi*w(e) + 1 >= l(v). Total isolation certifies a positive loop
+// (the paper's PLD, Theorem 2).
+func (s *state) sccIsolated(comp int) bool {
+	n := s.c.NumNodes()
+	reach := make([]bool, n)
+	queue := make([]int, 0, n)
+	for id := 0; id < n; id++ {
+		if s.labels[id] <= 1 {
+			reach[id] = true
+			queue = append(queue, id)
+		}
+	}
+	for len(queue) > 0 {
+		u := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		for _, fo := range s.c.Fanouts(u) {
+			if reach[fo.To] {
+				continue
+			}
+			if s.labels[u]-s.phi*fo.Weight+1 >= s.labels[fo.To] {
+				reach[fo.To] = true
+				queue = append(queue, fo.To)
+			}
+		}
+	}
+	for _, id := range s.sccs.Members[comp] {
+		if reach[id] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,43 @@
+package core
+
+// Label relaxation, the paper's first LUT-reduction technique: "reduce the
+// number of nodes which need resynthesis by label relaxation, i.e., not
+// using the resynthesized results of some nodes and increasing their labels
+// if no positive loops will occur."
+//
+// After the label computation converges at a feasible phi, every node whose
+// cover is a resynthesized LUT tree is tried with its label raised by one
+// (the structural direct cover). If the labels still converge — and, for
+// clock-period objectives, the outputs still meet phi — the relaxation
+// sticks and the node keeps a single-LUT cover; otherwise the previous
+// state is restored. The greedy order follows the sweep order, so upstream
+// relaxations are visible downstream.
+
+// relaxForArea runs the greedy relaxation. It must be called on a converged,
+// feasible state; it leaves the state converged and feasible.
+func (s *state) relaxForArea() {
+	for _, id := range s.order {
+		rec := s.recs[id]
+		if rec.tree == nil || len(rec.tree.Nodes) <= 1 {
+			continue // structural cover already
+		}
+		labels := append([]int(nil), s.labels...)
+		recs := append([]coverRec(nil), s.recs...)
+		s.labels[id]++
+		if s.run() {
+			continue // relaxation accepted; state reconverged
+		}
+		s.labels = labels
+		s.recs = recs
+		s.resetDecisions()
+	}
+}
+
+// resetDecisions clears the decision cache after a label rollback.
+func (s *state) resetDecisions() {
+	for i := range s.decided {
+		s.decided[i] = false
+		s.lastL[i] = -labelInf
+		s.nextDecomp[i] = 0
+	}
+}

@@ -1,0 +1,116 @@
+package core
+
+import (
+	"fmt"
+
+	"turbosyn/internal/netlist"
+	"turbosyn/internal/retime"
+)
+
+// Feasible decides Problem 2: does a mapping with clock period (or, when
+// opts.Pipelined, MDR ratio) at most phi exist? It returns the probe's work
+// statistics alongside.
+func Feasible(c *netlist.Circuit, phi int, opts Options) (bool, Stats, error) {
+	opts = opts.withDefaults()
+	if err := validateInput(c, opts); err != nil {
+		return false, Stats{}, err
+	}
+	if phi < 1 {
+		return false, Stats{}, nil
+	}
+	s := newState(c, phi, opts)
+	ok := s.run()
+	return ok, s.stats, nil
+}
+
+// MapAtRatio computes labels and a mapped LUT network for a specific
+// feasible phi. It fails if phi is infeasible.
+func MapAtRatio(c *netlist.Circuit, phi int, opts Options) (*Result, error) {
+	opts = opts.withDefaults()
+	if err := validateInput(c, opts); err != nil {
+		return nil, err
+	}
+	s := newState(c, phi, opts)
+	if !s.run() {
+		return nil, fmt.Errorf("core: target %d is infeasible for %s", phi, c.Name)
+	}
+	if opts.Relax && opts.Decompose {
+		s.relaxForArea()
+	}
+	m, origOf, err := s.generate()
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Phi:    phi,
+		Labels: s.labels,
+		Mapped: m,
+		LUTs:   m.NumGates(),
+		OrigOf: origOf,
+		Stats:  s.stats,
+		Opts:   opts,
+	}, nil
+}
+
+// Minimize finds the minimum feasible phi by binary search and returns the
+// mapping at that phi. The upper bound follows the paper: the trivial
+// one-gate-per-LUT mapping achieves the current clock period, and for the
+// MDR objective TurboMap's minimum clock period is itself an upper bound
+// (computed first when opts.Decompose is set, mirroring "first run TurboMap
+// to get an upper bound UB").
+func Minimize(c *netlist.Circuit, opts Options) (*Result, error) {
+	opts = opts.withDefaults()
+	if err := validateInput(c, opts); err != nil {
+		return nil, err
+	}
+	var total Stats
+	ub := retime.Period(c)
+	if ub < 1 {
+		ub = 1
+	}
+	if opts.Decompose && opts.Pipelined {
+		// Paper's UB: TurboMap's optimum seeds TurboSYN's search.
+		tmOpts := opts
+		tmOpts.Decompose = false
+		tm, err := minimizeSearch(c, ub, tmOpts, &total)
+		if err != nil {
+			return nil, err
+		}
+		ub = tm
+	}
+	best, err := minimizeSearch(c, ub, opts, &total)
+	if err != nil {
+		return nil, err
+	}
+	res, err := MapAtRatio(c, best, opts)
+	if err != nil {
+		return nil, err
+	}
+	total.Add(res.Stats)
+	res.Stats = total
+	return res, nil
+}
+
+// minimizeSearch binary-searches the smallest feasible phi in [1, ub].
+// ub must be feasible.
+func minimizeSearch(cc *netlist.Circuit, ub int, opts Options, total *Stats) (int, error) {
+	lo, hi := 1, ub
+	best := -1
+	for lo <= hi {
+		mid := (lo + hi) / 2
+		s := newState(cc, mid, opts)
+		ok := s.run()
+		total.Add(s.stats)
+		if ok {
+			best = mid
+			hi = mid - 1
+		} else {
+			lo = mid + 1
+		}
+	}
+	if best < 0 {
+		return 0, fmt.Errorf("core: no feasible target up to %d for %s (is the upper bound wrong?)",
+			ub, cc.Name)
+	}
+	return best, nil
+}

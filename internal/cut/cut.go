@@ -1,0 +1,95 @@
+// Package cut decides K-feasible cut existence on expanded circuits and
+// extracts the cuts and LUT cones that the mapping generators materialize.
+//
+// The flow network follows FlowMap/TurboMap: every cut-candidate replica is
+// split with unit capacity, non-candidates pass through uncut (infinite
+// capacity), frontier replicas are fed by the source, and the root is the
+// sink. A cut of at most K candidates separating the frontier from the root
+// exists iff the max flow is at most K.
+package cut
+
+import (
+	"turbosyn/internal/expand"
+	"turbosyn/internal/flow"
+)
+
+// Result describes a found cut.
+type Result struct {
+	// Cut lists the replica indices of the node cut-set V(X, X̄).
+	Cut []int
+	// Cone lists the replica indices strictly inside the LUT (the root
+	// included, the cut excluded), in reverse topological order from the
+	// root (root first).
+	Cone []int
+}
+
+// KCut reports whether the expanded circuit admits a cut of at most k
+// candidate replicas separating the frontier from the root, and returns one
+// such cut of minimum size.
+func KCut(x *expand.Expanded, k int) (*Result, bool) {
+	n := len(x.Nodes)
+	// Network layout: in(i) = 2i, out(i) = 2i+1, s = 2n, t = 2n+1.
+	// The root's halves are unused; arcs into the root go to t.
+	net := flow.NewNet(2*n + 2)
+	s, t := 2*n, 2*n+1
+	in := func(i int) int { return 2 * i }
+	out := func(i int) int { return 2*i + 1 }
+	for i := 1; i < n; i++ {
+		capi := flow.Inf
+		if x.Nodes[i].Candidate {
+			capi = 1
+		}
+		net.AddArc(in(i), out(i), capi)
+		if x.Nodes[i].Frontier {
+			net.AddArc(s, in(i), flow.Inf)
+		}
+	}
+	for i := 0; i < n; i++ {
+		for _, c := range x.Fanins[i] {
+			if i == expand.Root {
+				net.AddArc(out(c), t, flow.Inf)
+			} else {
+				net.AddArc(out(c), in(i), flow.Inf)
+			}
+		}
+	}
+	if got := net.MaxFlowUpTo(s, t, k); got > k {
+		return nil, false
+	}
+	reach := net.ResidualReach(s)
+	res := &Result{}
+	for i := 1; i < n; i++ {
+		if x.Nodes[i].Candidate && reach[in(i)] && !reach[out(i)] {
+			res.Cut = append(res.Cut, i)
+		}
+	}
+	res.Cone = cone(x, res.Cut)
+	return res, true
+}
+
+// cone walks backward from the root, stopping at cut replicas, and returns
+// the interior in discovery order (root first).
+func cone(x *expand.Expanded, cut []int) []int {
+	isCut := make(map[int]bool, len(cut))
+	for _, c := range cut {
+		isCut[c] = true
+	}
+	seen := map[int]bool{expand.Root: true}
+	order := []int{expand.Root}
+	for qi := 0; qi < len(order); qi++ {
+		for _, c := range x.Fanins[order[qi]] {
+			if !seen[c] && !isCut[c] {
+				seen[c] = true
+				order = append(order, c)
+			}
+		}
+	}
+	return order
+}
+
+// MinCut returns the minimum cut separating frontier from root regardless of
+// size, as long as it is at most limit (the paper bounds resynthesis cuts by
+// Cmax = 15). ok=false when even that is exceeded.
+func MinCut(x *expand.Expanded, limit int) (*Result, bool) {
+	return KCut(x, limit)
+}

@@ -1,0 +1,57 @@
+package decomp
+
+import "turbosyn/internal/logic"
+
+// associativeTree recognizes f (already support-normalized, more than k
+// variables) as a wide AND, OR, XOR or a complement thereof, and builds a
+// balanced k-ary tree for it directly. Complements fold into the root node.
+// ok=false when f has no such shape or the tree cannot fit depthBudget.
+func associativeTree(f *logic.TT, refs []int, k, depthBudget int, tr *Tree) (int, bool) {
+	m := f.NumVars()
+	var mk func(int) *logic.TT
+	invert := false
+	switch {
+	case f.Equal(logic.AndAll(m)):
+		mk = logic.AndAll
+	case f.Equal(logic.OrAll(m)):
+		mk = logic.OrAll
+	case f.Equal(logic.NandAll(m)):
+		mk, invert = logic.AndAll, true
+	case f.Equal(logic.NorAll(m)):
+		mk, invert = logic.OrAll, true
+	default:
+		if _, inv, ok := f.IsParity(); ok {
+			mk, invert = logic.XorAll, inv
+		} else {
+			return 0, false
+		}
+	}
+	// Depth of a balanced k-ary reduction over m leaves.
+	depth := 0
+	for span := 1; span < m; span *= k {
+		depth++
+	}
+	if depth > depthBudget {
+		return 0, false
+	}
+	level := append([]int(nil), refs...)
+	for len(level) > 1 {
+		var next []int
+		for i := 0; i < len(level); i += k {
+			j := min(i+k, len(level))
+			if j-i == 1 {
+				next = append(next, level[i])
+				continue
+			}
+			fn := mk(j - i)
+			if invert && len(level) <= k {
+				// Root node: fold the complement in.
+				fn = logic.NewTT(fn.NumVars()).Not(fn)
+			}
+			tr.Nodes = append(tr.Nodes, TreeNode{Func: fn, Children: append([]int(nil), level[i:j]...)})
+			next = append(next, tr.NumInputs+len(tr.Nodes)-1)
+		}
+		level = next
+	}
+	return level[0], true
+}

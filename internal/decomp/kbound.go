@@ -1,0 +1,180 @@
+package decomp
+
+import (
+	"fmt"
+
+	"turbosyn/internal/logic"
+	"turbosyn/internal/netlist"
+)
+
+// KBound returns a functionally equivalent circuit in which every gate has
+// at most k fanins, decomposing wide gates structurally:
+//
+//   - parity gates become balanced k-ary XOR trees,
+//   - everything else goes through an ISOP cover: per-cube AND trees feeding
+//     a balanced OR tree (complemented covers get a final inverter).
+//
+// This plays the role of the balanced-tree/DMIG preprocessing the paper
+// assumes ("this paper assumes that the initial circuits are K-bounded").
+// Registers on the wide gate's fanins stay on the corresponding leaf edges.
+func KBound(c *netlist.Circuit, k int) (*netlist.Circuit, error) {
+	if k < 2 {
+		return nil, fmt.Errorf("decomp: KBound needs k >= 2")
+	}
+	d := netlist.NewCircuit(c.Name)
+	// Map old node ids to new ids.
+	newID := make([]int, c.NumNodes())
+	for i := range newID {
+		newID[i] = -1
+	}
+	// Two passes like the BLIF reader: create nodes, then wire them, so
+	// feedback edges resolve. Wide gates expand into subtrees whose leaves
+	// reference the original fanins; the subtree is created during wiring.
+	type widen struct{ oldID int }
+	var wides []widen
+	for _, n := range c.Nodes {
+		switch n.Kind {
+		case netlist.PI:
+			newID[n.ID] = d.AddPI(n.Name)
+		case netlist.Gate:
+			// Zero-fanin placeholder; function and fanins are wired in the
+			// second pass once every target id exists.
+			newID[n.ID] = d.AddGate(n.Name, logic.Const(0, false))
+			if len(n.Fanins) > k {
+				wides = append(wides, widen{oldID: n.ID})
+			}
+		}
+	}
+	// Wire narrow gates.
+	for _, n := range c.Nodes {
+		if n.Kind != netlist.Gate || len(n.Fanins) > k {
+			continue
+		}
+		g := d.Nodes[newID[n.ID]]
+		g.Func = n.Func
+		for _, f := range n.Fanins {
+			g.Fanins = append(g.Fanins, netlist.Fanin{From: newID[f.From], Weight: f.Weight})
+		}
+	}
+	// Expand wide gates.
+	for _, w := range wides {
+		n := c.Nodes[w.oldID]
+		leaves := make([]netlist.Fanin, len(n.Fanins))
+		for i, f := range n.Fanins {
+			leaves[i] = netlist.Fanin{From: newID[f.From], Weight: f.Weight}
+		}
+		root, err := buildGateTree(d, n.Name, n.Func, leaves, k)
+		if err != nil {
+			return nil, err
+		}
+		g := d.Nodes[newID[w.oldID]]
+		g.Func = logic.Buf()
+		g.Fanins = []netlist.Fanin{{From: root}}
+	}
+	for _, po := range c.POs {
+		f := c.Nodes[po].Fanins[0]
+		d.AddPO(c.Nodes[po].Name, newID[f.From], f.Weight)
+	}
+	d.InvalidateCaches()
+	if err := d.Check(); err != nil {
+		return nil, fmt.Errorf("decomp: KBound produced a bad circuit: %v", err)
+	}
+	return d, nil
+}
+
+// buildGateTree adds gates computing fn over the given leaf fanins, each
+// gate with at most k inputs, and returns the root gate id.
+func buildGateTree(d *netlist.Circuit, name string, fn *logic.TT, leaves []netlist.Fanin, k int) (int, error) {
+	// Node-count-based suffixes are unique across all expansions.
+	fresh := func(sfx string) string {
+		return fmt.Sprintf("%s$%s%d", name, sfx, d.NumNodes())
+	}
+	if support, invert, ok := fn.IsParity(); ok {
+		ins := make([]netlist.Fanin, len(support))
+		for i, v := range support {
+			ins[i] = leaves[v]
+		}
+		root := reduceTree(d, fresh, ins, k, logic.XorAll)
+		if invert {
+			root = d.AddGate(fresh("inv"), logic.Inv(), netlist.Fanin{From: root})
+		}
+		return root, nil
+	}
+	cover := logic.ISOP(fn)
+	inverted := false
+	if neg := logic.ISOP(logic.NewTT(fn.NumVars()).Not(fn)); len(neg) < len(cover) {
+		cover, inverted = neg, true
+	}
+	const maxCubes = 4096
+	if len(cover) > maxCubes {
+		return 0, fmt.Errorf("decomp: gate %q: cover of %d cubes exceeds limit %d",
+			name, len(cover), maxCubes)
+	}
+	inverters := make(map[int]int) // leaf index -> inverter gate id
+	var cubeRoots []netlist.Fanin
+	for _, q := range cover {
+		var ins []netlist.Fanin
+		for v := 0; v < fn.NumVars(); v++ {
+			bit := uint32(1) << uint(v)
+			if q.Care&bit == 0 {
+				continue
+			}
+			if q.Pol&bit != 0 {
+				ins = append(ins, leaves[v])
+			} else {
+				inv, ok := inverters[v]
+				if !ok {
+					inv = d.AddGate(fresh("n"), logic.Inv(), leaves[v])
+					inverters[v] = inv
+				}
+				ins = append(ins, netlist.Fanin{From: inv})
+			}
+		}
+		if len(ins) == 0 {
+			// Tautological cube: the whole function is constant true.
+			id := d.AddGate(fresh("one"), logic.Const(0, true))
+			cubeRoots = []netlist.Fanin{{From: id}}
+			break
+		}
+		cubeRoots = append(cubeRoots, netlist.Fanin{From: reduceTree(d, fresh, ins, k, logic.AndAll)})
+	}
+	var root int
+	if len(cubeRoots) == 0 {
+		root = d.AddGate(fresh("zero"), logic.Const(0, false))
+	} else {
+		root = reduceTree(d, fresh, cubeRoots, k, logic.OrAll)
+	}
+	if inverted {
+		root = d.AddGate(fresh("inv"), logic.Inv(), netlist.Fanin{From: root})
+	}
+	return root, nil
+}
+
+// reduceTree combines the inputs with a balanced tree of k-ary associative
+// gates (gate functions produced by mk) and returns the root id. A single
+// input is passed through a buffer so the result is always a gate.
+func reduceTree(d *netlist.Circuit, fresh func(string) string, ins []netlist.Fanin, k int, mk func(int) *logic.TT) int {
+	if len(ins) == 1 {
+		if ins[0].Weight == 0 && d.Nodes[ins[0].From].Kind == netlist.Gate {
+			return ins[0].From
+		}
+		return d.AddGate(fresh("b"), logic.Buf(), ins[0])
+	}
+	for len(ins) > 1 {
+		var next []netlist.Fanin
+		for i := 0; i < len(ins); i += k {
+			j := min(i+k, len(ins))
+			if j-i == 1 {
+				next = append(next, ins[i])
+				continue
+			}
+			id := d.AddGate(fresh("t"), mk(j-i), ins[i:j]...)
+			next = append(next, netlist.Fanin{From: id})
+		}
+		ins = next
+	}
+	if d.Nodes[ins[0].From].Kind != netlist.Gate || ins[0].Weight != 0 {
+		return d.AddGate(fresh("b"), logic.Buf(), ins[0])
+	}
+	return ins[0].From
+}

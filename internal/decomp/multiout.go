@@ -1,0 +1,207 @@
+package decomp
+
+import (
+	"fmt"
+
+	"turbosyn/internal/logic"
+)
+
+// Multi-output functional decomposition (Wurth–Eckl–Antreich), the paper's
+// stated future-work direction for recovering the area lost to single-output
+// decomposition: several functions over the same inputs share one bound set
+// and one encoder, so the alpha LUTs are built once instead of per function.
+//
+// For functions f_1..f_r and bound set A, the joint column multiplicity is
+// the number of distinct TUPLES of subfunctions over the free variables as A
+// ranges over its assignments; the shared code needs ceil(log2 mu) bits and
+// each f_i becomes g_i(alpha_1(A)..alpha_e(A), B).
+
+// MultiRothKarpResult is the shared decomposition of several functions.
+type MultiRothKarpResult struct {
+	BoundSet []int // variable indices encoded by the shared alphas
+	FreeSet  []int
+	// Alphas range over len(BoundSet) variables and are shared by all
+	// functions.
+	Alphas []*logic.TT
+	// G[i] recomposes function i over len(Alphas)+len(FreeSet) variables
+	// (alpha outputs first, then FreeSet in order).
+	G []*logic.TT
+}
+
+// JointColumnMultiplicity returns the number of distinct subfunction tuples
+// over the free variables. All functions must range over the same variable
+// count.
+func JointColumnMultiplicity(fns []*logic.TT, boundSet []int) int {
+	if len(fns) == 0 {
+		return 0
+	}
+	classes, _ := jointClasses(fns, boundSet)
+	return classes
+}
+
+// jointClasses computes the class id of every bound-set assignment; it
+// returns the class count and the per-assignment class ids.
+func jointClasses(fns []*logic.TT, boundSet []int) (int, []int) {
+	n := fns[0].NumVars()
+	for _, f := range fns {
+		if f.NumVars() != n {
+			panic("decomp: joint decomposition over mismatched variable sets")
+		}
+	}
+	k := len(boundSet)
+	inBound := make([]bool, n)
+	for _, v := range boundSet {
+		inBound[v] = true
+	}
+	var freeSet []int
+	for v := 0; v < n; v++ {
+		if !inBound[v] {
+			freeSet = append(freeSet, v)
+		}
+	}
+	nb := len(freeSet)
+	classOf := make([]int, 1<<uint(k))
+	patterns := make(map[string]int)
+	buf := make([]byte, 0, len(fns)*((1<<uint(nb))/8+1))
+	for a := 0; a < 1<<uint(k); a++ {
+		buf = buf[:0]
+		var base uint
+		for j, v := range boundSet {
+			if a&(1<<uint(j)) != 0 {
+				base |= 1 << uint(v)
+			}
+		}
+		for _, f := range fns {
+			var word byte
+			for b := 0; b < 1<<uint(nb); b++ {
+				x := base
+				for j, v := range freeSet {
+					if b&(1<<uint(j)) != 0 {
+						x |= 1 << uint(v)
+					}
+				}
+				if f.Eval(x) {
+					word |= 1 << uint(b&7)
+				}
+				if b&7 == 7 || b == 1<<uint(nb)-1 {
+					buf = append(buf, word)
+					word = 0
+				}
+			}
+		}
+		key := string(buf)
+		id, ok := patterns[key]
+		if !ok {
+			id = len(patterns)
+			patterns[key] = id
+		}
+		classOf[a] = id
+	}
+	return len(patterns), classOf
+}
+
+// MultiRothKarp decomposes the functions over a shared bound set.
+// maxCodeBits limits the shared code width (0 = unlimited).
+func MultiRothKarp(fns []*logic.TT, boundSet []int, maxCodeBits int) (*MultiRothKarpResult, bool) {
+	if len(fns) == 0 {
+		return nil, false
+	}
+	n := fns[0].NumVars()
+	k := len(boundSet)
+	if k == 0 || k >= n {
+		return nil, false
+	}
+	seen := make(map[int]bool, k)
+	for _, v := range boundSet {
+		if v < 0 || v >= n || seen[v] {
+			panic(fmt.Sprintf("decomp: bad bound set %v for %d vars", boundSet, n))
+		}
+		seen[v] = true
+	}
+	mu, classOf := jointClasses(fns, boundSet)
+	e := 0
+	for 1<<uint(e) < mu {
+		e++
+	}
+	if e == 0 {
+		e = 1
+	}
+	if maxCodeBits > 0 && e > maxCodeBits {
+		return nil, false
+	}
+	var freeSet []int
+	for v := 0; v < n; v++ {
+		if !seen[v] {
+			freeSet = append(freeSet, v)
+		}
+	}
+	res := &MultiRothKarpResult{BoundSet: boundSet, FreeSet: freeSet}
+	for i := 0; i < e; i++ {
+		alpha := logic.NewTT(k)
+		for a := 0; a < 1<<uint(k); a++ {
+			if classOf[a]&(1<<uint(i)) != 0 {
+				alpha.SetBit(a, true)
+			}
+		}
+		res.Alphas = append(res.Alphas, alpha)
+	}
+	// One representative bound assignment per class, for reading off g_i.
+	rep := make([]int, mu)
+	for i := range rep {
+		rep[i] = -1
+	}
+	for a, cl := range classOf {
+		if rep[cl] < 0 {
+			rep[cl] = a
+		}
+	}
+	nb := len(freeSet)
+	for _, f := range fns {
+		g := logic.NewTT(e + nb)
+		for idx := 0; idx < g.NumBits(); idx++ {
+			code := idx & (1<<uint(e) - 1)
+			b := idx >> uint(e)
+			if code >= mu {
+				continue // unused code: don't care, fixed to 0
+			}
+			var x uint
+			a := rep[code]
+			for j, v := range boundSet {
+				if a&(1<<uint(j)) != 0 {
+					x |= 1 << uint(v)
+				}
+			}
+			for j, v := range freeSet {
+				if b&(1<<uint(j)) != 0 {
+					x |= 1 << uint(v)
+				}
+			}
+			if f.Eval(x) {
+				g.SetBit(idx, true)
+			}
+		}
+		res.G = append(res.G, g)
+	}
+	return res, true
+}
+
+// Verify recomposes every function and compares exhaustively.
+func (r *MultiRothKarpResult) Verify(fns []*logic.TT) bool {
+	if len(fns) != len(r.G) {
+		return false
+	}
+	n := fns[0].NumVars()
+	subs := make([]*logic.TT, len(r.Alphas)+len(r.FreeSet))
+	for i, a := range r.Alphas {
+		subs[i] = a.Expand(n, r.BoundSet)
+	}
+	for i, v := range r.FreeSet {
+		subs[len(r.Alphas)+i] = logic.Var(n, v)
+	}
+	for i, f := range fns {
+		if !r.G[i].Compose(subs).Equal(f) {
+			return false
+		}
+	}
+	return true
+}

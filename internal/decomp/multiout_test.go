@@ -1,0 +1,113 @@
+package decomp
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"turbosyn/internal/logic"
+)
+
+func TestMultiRothKarpSharesEncoder(t *testing.T) {
+	// f1 = AND(x0..x5), f2 = OR over the same bound half: both depend on
+	// {x0,x1,x2} only through coarse summaries; joint multiplicity stays
+	// small and the encoder is shared.
+	f1 := logic.AndAll(6)
+	f2 := logic.NewTT(6).Or(logic.OrAll(6), logic.Var(6, 5))
+	res, ok := MultiRothKarp([]*logic.TT{f1, f2}, []int{0, 1, 2}, 0)
+	if !ok {
+		t.Fatal("decomposition failed")
+	}
+	if !res.Verify([]*logic.TT{f1, f2}) {
+		t.Fatal("recomposition mismatch")
+	}
+	// Joint multiplicity of (AND, OR) over 3 bound vars: tuples
+	// (0,0),(0,1),(1,1) -> 3 classes -> 2 code bits.
+	if mu := JointColumnMultiplicity([]*logic.TT{f1, f2}, []int{0, 1, 2}); mu != 3 {
+		t.Fatalf("joint multiplicity = %d, want 3", mu)
+	}
+	if len(res.Alphas) != 2 {
+		t.Fatalf("alphas = %d, want 2", len(res.Alphas))
+	}
+}
+
+func TestMultiRothKarpRandomQuick(t *testing.T) {
+	fn := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nvar := 4 + rng.Intn(4)
+		r := 1 + rng.Intn(3)
+		fns := make([]*logic.TT, r)
+		for i := range fns {
+			f := logic.NewTT(nvar)
+			for b := 0; b < f.NumBits(); b++ {
+				if rng.Intn(2) == 1 {
+					f.SetBit(b, true)
+				}
+			}
+			fns[i] = f
+		}
+		k := 1 + rng.Intn(nvar-1)
+		bound := rng.Perm(nvar)[:k]
+		res, ok := MultiRothKarp(fns, bound, 0)
+		if !ok {
+			return false // unlimited code bits cannot fail
+		}
+		if !res.Verify(fns) {
+			return false
+		}
+		// Single-function case must agree with the single-output engine.
+		if r == 1 {
+			mu1 := ColumnMultiplicity(fns[0], bound)
+			muJ := JointColumnMultiplicity(fns, bound)
+			if mu1 != muJ {
+				return false
+			}
+		}
+		// Joint multiplicity dominates every individual one.
+		muJ := JointColumnMultiplicity(fns, bound)
+		for _, f := range fns {
+			if ColumnMultiplicity(f, bound) > muJ {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMultiRothKarpCodeLimit(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	fns := make([]*logic.TT, 3)
+	for i := range fns {
+		f := logic.NewTT(8)
+		for b := 0; b < f.NumBits(); b++ {
+			if rng.Intn(2) == 1 {
+				f.SetBit(b, true)
+			}
+		}
+		fns[i] = f
+	}
+	if _, ok := MultiRothKarp(fns, []int{0, 1, 2, 3}, 1); ok {
+		t.Fatal("three random functions cannot share a 1-bit code")
+	}
+}
+
+func TestMultiRothKarpSharingBeatsSeparate(t *testing.T) {
+	// Two symmetric functions of the same bound variables: shared encoding
+	// needs no more code bits than the two separate encodings combined.
+	f1 := logic.XorAll(6)
+	f2 := logic.AndAll(6)
+	bound := []int{0, 1, 2}
+	res, ok := MultiRothKarp([]*logic.TT{f1, f2}, bound, 0)
+	if !ok {
+		t.Fatal("failed")
+	}
+	r1, _ := RothKarp(f1, bound, 0)
+	r2, _ := RothKarp(f2, bound, 0)
+	if len(res.Alphas) > len(r1.Alphas)+len(r2.Alphas) {
+		t.Fatalf("sharing used %d alphas, separate %d+%d",
+			len(res.Alphas), len(r1.Alphas), len(r2.Alphas))
+	}
+}

@@ -1,0 +1,432 @@
+// Package decomp implements the two decomposition engines of the flow:
+//
+//   - Roth–Karp (bound-set) functional decomposition on truth tables, with
+//     BDD-backed column-multiplicity counting — the paper's "OBDD based
+//     functional decomposition" used by FlowSYN and by TurboSYN's sequential
+//     resynthesis step; and
+//   - structural gate decomposition (K-bounding) that turns wide gates into
+//     trees of K-input gates, the preprocessing the paper delegates to
+//     balanced tree decomposition / DMIG.
+package decomp
+
+import (
+	"fmt"
+	"sort"
+
+	"turbosyn/internal/bdd"
+	"turbosyn/internal/logic"
+)
+
+// RothKarp decomposes f as g(alpha_1(A), ..., alpha_e(A), B) for the given
+// bound set A (indices into f's variables); B is the complement. e is the
+// code width ceil(log2 mu) for column multiplicity mu. maxCodeBits limits e
+// (0 = unlimited). ok=false when mu needs more bits than allowed.
+type RothKarpResult struct {
+	BoundSet []int // f-variable indices encoded by the alphas
+	FreeSet  []int // f-variable indices passed through to g
+	// Alphas are functions over len(BoundSet) variables (variable j =
+	// BoundSet[j]).
+	Alphas []*logic.TT
+	// G ranges over len(Alphas)+len(FreeSet) variables: the alpha outputs
+	// first, then the free variables in FreeSet order.
+	G *logic.TT
+}
+
+// ColumnMultiplicity returns the number of distinct subfunctions of f over
+// the free variables as the bound-set variables range over all assignments.
+// It uses the BDD cut construction: reorder f so the bound set sits on top,
+// then count the distinct functions crossing the boundary.
+func ColumnMultiplicity(f *logic.TT, boundSet []int) int {
+	n := f.NumVars()
+	order := varOrder(n, boundSet)
+	m := bdd.New(n)
+	root := m.FromTT(f.Expand(n, order))
+	return len(m.CutRefs(root, len(boundSet)))
+}
+
+// varOrder returns varMap for TT.Expand placing boundSet at positions
+// 0..k-1 and the remaining variables afterwards in increasing order.
+// varMap[j] = new position of old variable j.
+func varOrder(n int, boundSet []int) []int {
+	inBound := make([]int, n)
+	for i := range inBound {
+		inBound[i] = -1
+	}
+	for pos, v := range boundSet {
+		inBound[v] = pos
+	}
+	varMap := make([]int, n)
+	next := len(boundSet)
+	for v := 0; v < n; v++ {
+		if inBound[v] >= 0 {
+			varMap[v] = inBound[v]
+		} else {
+			varMap[v] = next
+			next++
+		}
+	}
+	return varMap
+}
+
+// RothKarp performs the decomposition for a specific bound set.
+func RothKarp(f *logic.TT, boundSet []int, maxCodeBits int) (*RothKarpResult, bool) {
+	n := f.NumVars()
+	k := len(boundSet)
+	if k == 0 || k >= n {
+		return nil, false
+	}
+	seen := make(map[int]bool, k)
+	for _, v := range boundSet {
+		if v < 0 || v >= n || seen[v] {
+			panic(fmt.Sprintf("decomp: bad bound set %v for %d vars", boundSet, n))
+		}
+		seen[v] = true
+	}
+	var freeSet []int
+	for v := 0; v < n; v++ {
+		if !seen[v] {
+			freeSet = append(freeSet, v)
+		}
+	}
+	nb := len(freeSet)
+
+	// Column patterns: for each bound assignment a, the subfunction over
+	// the free variables as a bit pattern.
+	classOf := make([]int, 1<<uint(k))
+	patterns := make(map[string]int)
+	var reps []string
+	var buf []byte
+	for a := 0; a < 1<<uint(k); a++ {
+		buf = buf[:0]
+		// Build the full-variable assignment incrementally.
+		var base uint
+		for j, v := range boundSet {
+			if a&(1<<uint(j)) != 0 {
+				base |= 1 << uint(v)
+			}
+		}
+		var word byte
+		for b := 0; b < 1<<uint(nb); b++ {
+			x := base
+			for j, v := range freeSet {
+				if b&(1<<uint(j)) != 0 {
+					x |= 1 << uint(v)
+				}
+			}
+			if f.Eval(x) {
+				word |= 1 << uint(b&7)
+			}
+			if b&7 == 7 || b == 1<<uint(nb)-1 {
+				buf = append(buf, word)
+				word = 0
+			}
+		}
+		key := string(buf)
+		id, ok := patterns[key]
+		if !ok {
+			id = len(reps)
+			patterns[key] = id
+			reps = append(reps, key)
+		}
+		classOf[a] = id
+	}
+	mu := len(reps)
+	e := 0
+	for 1<<uint(e) < mu {
+		e++
+	}
+	if e == 0 {
+		e = 1 // degenerate f independent of the bound set still needs a wire
+	}
+	if maxCodeBits > 0 && e > maxCodeBits {
+		return nil, false
+	}
+
+	res := &RothKarpResult{BoundSet: boundSet, FreeSet: freeSet}
+	for i := 0; i < e; i++ {
+		alpha := logic.NewTT(k)
+		for a := 0; a < 1<<uint(k); a++ {
+			if classOf[a]&(1<<uint(i)) != 0 {
+				alpha.SetBit(a, true)
+			}
+		}
+		res.Alphas = append(res.Alphas, alpha)
+	}
+	g := logic.NewTT(e + nb)
+	for idx := 0; idx < g.NumBits(); idx++ {
+		code := idx & (1<<uint(e) - 1)
+		b := idx >> uint(e)
+		if code >= mu {
+			continue // unused code: don't-care, fixed to 0
+		}
+		rep := reps[code]
+		if rep[b>>3]&(1<<uint(b&7)) != 0 {
+			g.SetBit(idx, true)
+		}
+	}
+	res.G = g
+	return res, true
+}
+
+// Verify recomposes the decomposition and compares with f exhaustively.
+func (r *RothKarpResult) Verify(f *logic.TT) bool {
+	n := f.NumVars()
+	subs := make([]*logic.TT, len(r.Alphas)+len(r.FreeSet))
+	for i, a := range r.Alphas {
+		subs[i] = a.Expand(n, r.BoundSet)
+	}
+	for i, v := range r.FreeSet {
+		subs[len(r.Alphas)+i] = logic.Var(n, v)
+	}
+	return r.G.Compose(subs).Equal(f)
+}
+
+// Tree is a multi-level decomposition of a function into nodes of bounded
+// fanin. Leaves are the original inputs 0..NumInputs-1; internal nodes are
+// numbered NumInputs+i for Nodes[i]. Root is always the last node.
+type Tree struct {
+	NumInputs int
+	Nodes     []TreeNode
+}
+
+// TreeNode computes Func over its children (child j = variable j of Func).
+type TreeNode struct {
+	Func     *logic.TT
+	Children []int
+}
+
+// Root returns the root node reference (NumInputs + len(Nodes) - 1).
+func (t *Tree) Root() int { return t.NumInputs + len(t.Nodes) - 1 }
+
+// Depth returns the maximum node depth of the tree (a single node is 1).
+func (t *Tree) Depth() int {
+	depth := make([]int, t.NumInputs+len(t.Nodes))
+	for i, nd := range t.Nodes {
+		d := 0
+		for _, c := range nd.Children {
+			if depth[c] > d {
+				d = depth[c]
+			}
+		}
+		depth[t.NumInputs+i] = d + 1
+	}
+	return depth[t.Root()]
+}
+
+// Eval computes the tree's function over its NumInputs leaves.
+func (t *Tree) Eval(assignment uint) bool {
+	vals := make([]bool, t.NumInputs+len(t.Nodes))
+	for i := 0; i < t.NumInputs; i++ {
+		vals[i] = assignment&(1<<uint(i)) != 0
+	}
+	for i, nd := range t.Nodes {
+		var a uint
+		for j, c := range nd.Children {
+			if vals[c] {
+				a |= 1 << uint(j)
+			}
+		}
+		vals[t.NumInputs+i] = nd.Func.Eval(a)
+	}
+	return vals[t.Root()]
+}
+
+// TT materializes the tree's function.
+func (t *Tree) TT() *logic.TT {
+	out := logic.NewTT(t.NumInputs)
+	for i := 0; i < out.NumBits(); i++ {
+		if t.Eval(uint(i)) {
+			out.SetBit(i, true)
+		}
+	}
+	return out
+}
+
+// MaxFanin returns the largest node fanin.
+func (t *Tree) MaxFanin() int {
+	m := 0
+	for _, nd := range t.Nodes {
+		if len(nd.Children) > m {
+			m = len(nd.Children)
+		}
+	}
+	return m
+}
+
+// Decompose expresses f as a tree of at-most-K-input nodes of depth at most
+// depthBudget, searching bound sets in the priority order of the inputs:
+// inputs earlier in priority are preferred inside bound sets (the paper
+// sorts by effective label, so early-arriving signals sink to the leaves
+// and late ones stay near the root). priority may be nil for natural order.
+// ok=false when the search fails within the budget.
+func Decompose(f *logic.TT, k, depthBudget int, priority []int) (*Tree, bool) {
+	if k < 2 {
+		return nil, false
+	}
+	n := f.NumVars()
+	tr := &Tree{NumInputs: n}
+	// rank: lower = prefer inside bound sets (earlier-arriving signal).
+	rank := make(map[int]int, n)
+	if priority != nil {
+		for i, v := range priority {
+			rank[v] = i
+		}
+	} else {
+		for v := 0; v < n; v++ {
+			rank[v] = v
+		}
+	}
+	refs := make([]int, n)
+	for i := range refs {
+		refs[i] = i
+	}
+	root, ok := decomposeOver(f, refs, k, depthBudget, rank, tr)
+	if !ok {
+		return nil, false
+	}
+	if root != tr.Root() {
+		panic("decomp: root bookkeeping broken")
+	}
+	return tr, true
+}
+
+// decomposeOver decomposes f, whose variable j corresponds to tree reference
+// refs[j], appending nodes to tr and returning the root reference. rank maps
+// tree references to bound-set priority (internal alpha nodes get the rank
+// of their latest input, keeping the cascade balanced).
+//
+// One invocation handles one tree level: it repeatedly extracts disjoint
+// bound sets into alpha nodes — never re-encoding an alpha created at this
+// level, so all of them sit side by side one level deep — and then recurses
+// on the shrunken composition function with one level less budget.
+func decomposeOver(f *logic.TT, refs []int, k, depthBudget int, rank map[int]int, tr *Tree) (int, bool) {
+	// Normalize to the support.
+	support := f.Support()
+	if len(support) < f.NumVars() {
+		f = projectTT(f, support)
+		refs = mapRefs(support, refs)
+	}
+	if f.NumVars() <= k {
+		if depthBudget < 1 {
+			return 0, false
+		}
+		tr.Nodes = append(tr.Nodes, TreeNode{Func: f.Clone(), Children: append([]int(nil), refs...)})
+		return tr.NumInputs + len(tr.Nodes) - 1, true
+	}
+	if depthBudget < 2 {
+		return 0, false
+	}
+	// Fast path for the associative shapes that dominate real cone
+	// functions (wide AND/OR from control SOPs, parity from arithmetic):
+	// build a balanced k-ary tree directly instead of searching bound sets.
+	if root, ok := associativeTree(f, refs, k, depthBudget, tr); ok {
+		return root, true
+	}
+	mark := len(tr.Nodes)
+	fresh := make([]bool, f.NumVars()) // alphas created at this level
+	progressed := false
+	for f.NumVars() > k {
+		m := f.NumVars()
+		// Encodable variables, ordered by priority.
+		var ordered []int
+		for v := 0; v < m; v++ {
+			if !fresh[v] {
+				ordered = append(ordered, v)
+			}
+		}
+		sort.SliceStable(ordered, func(a, b int) bool {
+			return rank[refs[ordered[a]]] < rank[refs[ordered[b]]]
+		})
+		found := false
+		// Window starts are capped: the priority sort already puts the
+		// best bound-set candidates first, and an exhaustive slide makes
+		// the search quadratic on undecomposable functions.
+		const maxStarts = 6
+	search:
+		for size := min(k, len(ordered)); size >= 2; size-- {
+			for start := 0; start+size <= len(ordered) && start < maxStarts; start++ {
+				bound := append([]int(nil), ordered[start:start+size]...)
+				// The code must be narrower than the bound set, so every
+				// extraction strictly reduces the input count.
+				rk, ok := RothKarp(f, bound, size-1)
+				if !ok {
+					continue
+				}
+				// Alphas become depth-1 nodes; they inherit the rank of
+				// their latest bound input.
+				alphaRank := 0
+				for _, v := range bound {
+					if r := rank[refs[v]]; r > alphaRank {
+						alphaRank = r
+					}
+				}
+				boundRefs := mapRefs(bound, refs)
+				newRefs := make([]int, 0, len(rk.Alphas)+len(rk.FreeSet))
+				newFresh := make([]bool, 0, len(rk.Alphas)+len(rk.FreeSet))
+				for _, a := range rk.Alphas {
+					sup := a.Support()
+					tr.Nodes = append(tr.Nodes, TreeNode{
+						Func:     projectTT(a, sup),
+						Children: mapRefs(sup, boundRefs),
+					})
+					ref := tr.NumInputs + len(tr.Nodes) - 1
+					rank[ref] = alphaRank
+					newRefs = append(newRefs, ref)
+					newFresh = append(newFresh, true)
+				}
+				for _, v := range rk.FreeSet {
+					newRefs = append(newRefs, refs[v])
+					newFresh = append(newFresh, fresh[v])
+				}
+				f, refs, fresh = rk.G, newRefs, newFresh
+				progressed, found = true, true
+				break search
+			}
+		}
+		if !found {
+			break
+		}
+	}
+	if !progressed {
+		return 0, false
+	}
+	// Next level: everything (alphas included) is an ordinary input now.
+	root, ok := decomposeOver(f, refs, k, depthBudget-1, rank, tr)
+	if !ok {
+		tr.Nodes = tr.Nodes[:mark]
+		return 0, false
+	}
+	return root, true
+}
+
+// projectTT shrinks f to the given variables (f must not depend on others).
+func projectTT(f *logic.TT, vars []int) *logic.TT {
+	shrunk := logic.NewTT(len(vars))
+	for i := 0; i < shrunk.NumBits(); i++ {
+		var x uint
+		for j, v := range vars {
+			if i&(1<<uint(j)) != 0 {
+				x |= 1 << uint(v)
+			}
+		}
+		if f.Eval(x) {
+			shrunk.SetBit(i, true)
+		}
+	}
+	return shrunk
+}
+
+func mapRefs(vars []int, refs []int) []int {
+	out := make([]int, len(vars))
+	for i, v := range vars {
+		out[i] = refs[v]
+	}
+	return out
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,168 @@
+// Package expand builds the partial expanded circuits E_v of Pan–Liu that
+// underlie the label computation of TurboMap and TurboSYN. A node of E_v is
+// a replica (u, w): circuit node u together with the number w of registers
+// on every path from the replica to the root v. Every LUT that can cover v
+// under retiming and replication corresponds to a cut of E_v, and the cut's
+// height against the current labels decides the label update.
+//
+// For a target ratio phi and height bound L, the effective height of a
+// replica as a cut input is eff(u,w) = label(u) - phi*w + 1. Replicas with
+// eff > L can never be cut inputs, so they must lie inside the LUT cone and
+// are always expanded ("mandatory"); this region is finite because w grows
+// around every loop. Replicas with eff <= L are cut candidates. Expanding
+// through candidates lets the min-cut exploit reconvergence below the first
+// candidate frontier; since E_v is infinite around loops, candidate
+// expansion is bounded by Options.LowDepth extra levels (see DESIGN.md for
+// why this is the standard practical compromise and which direction it errs:
+// labels can only round up, never produce an invalid mapping).
+package expand
+
+import (
+	"turbosyn/internal/netlist"
+)
+
+// Options tunes the expansion.
+type Options struct {
+	// LowDepth is the number of extra levels to expand through cut
+	// candidates. 0 stops at the first candidate (the TurboMap frontier).
+	LowDepth int
+	// MaxNodes caps the expanded size; Build fails beyond it.
+	// 0 means DefaultMaxNodes.
+	MaxNodes int
+}
+
+// DefaultMaxNodes bounds one expansion when Options.MaxNodes is 0.
+const DefaultMaxNodes = 50000
+
+// Node is one replica of E_v.
+type Node struct {
+	Orig      int  // original circuit node
+	W         int  // registers on every path from this replica to the root
+	Candidate bool // eff <= L: may serve as a cut input (capacity 1)
+	Frontier  bool // expansion stopped here: supplied by the source side
+}
+
+// Expanded is a finite portion of E_v sufficient for the cut decision.
+type Expanded struct {
+	// Nodes[0] is the root (v, 0).
+	Nodes []Node
+	// Fanins[i] lists the replica indices feeding Nodes[i]; empty for
+	// frontier nodes.
+	Fanins [][]int
+
+	index map[[2]int]int
+}
+
+// Root index of (v, 0) in Nodes.
+const Root = 0
+
+// Index returns the replica id of (orig, w), or -1.
+func (x *Expanded) Index(orig, w int) int {
+	if id, ok := x.index[[2]int{orig, w}]; ok {
+		return id
+	}
+	return -1
+}
+
+// Build expands E_v far enough to decide whether a cut of height <= L exists
+// for target ratio phi under the given labels. It fails (ok=false) only when
+// the expansion exceeds the node cap; callers must then treat the cut as
+// nonexistent, which errs toward larger labels but never invalid mappings.
+func Build(c *netlist.Circuit, v int, labels []int, phi, L int, opts Options) (x *Expanded, ok bool) {
+	maxNodes := opts.MaxNodes
+	if maxNodes <= 0 {
+		maxNodes = DefaultMaxNodes
+	}
+	x = &Expanded{index: make(map[[2]int]int)}
+	// steps[i]: consecutive candidate levels on the shallowest discovery
+	// path (0 for the root and for mandatory replicas).
+	var steps []int
+	expanded := make(map[int]bool)
+
+	add := func(orig, w, step int) (int, bool) {
+		key := [2]int{orig, w}
+		if id, exists := x.index[key]; exists {
+			if step < steps[id] {
+				steps[id] = step
+				return id, true // may newly qualify for expansion
+			}
+			return id, false
+		}
+		id := len(x.Nodes)
+		x.index[key] = id
+		eff := labels[orig] - phi*w + 1
+		x.Nodes = append(x.Nodes, Node{
+			Orig:      orig,
+			W:         w,
+			Candidate: id != Root && eff <= L,
+		})
+		x.Fanins = append(x.Fanins, nil)
+		steps = append(steps, step)
+		return id, true
+	}
+
+	// Whether replica id should have its fanins expanded.
+	expandable := func(id int) bool {
+		n := &x.Nodes[id]
+		if c.Nodes[n.Orig].Kind == netlist.PI {
+			return false
+		}
+		if id == Root || !n.Candidate {
+			return true
+		}
+		return steps[id] <= opts.LowDepth
+	}
+
+	if _, okAdd := add(v, 0, 0); !okAdd {
+		return nil, false
+	}
+	queue := []int{Root}
+	for len(queue) > 0 {
+		id := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		if !expandable(id) {
+			continue
+		}
+		first := !expanded[id]
+		expanded[id] = true
+		n := x.Nodes[id]
+		orig := c.Nodes[n.Orig]
+		var fanins []int
+		if first {
+			fanins = make([]int, 0, len(orig.Fanins))
+		}
+		for _, f := range orig.Fanins {
+			if len(x.Nodes) >= maxNodes {
+				return nil, false
+			}
+			// A candidate child continues (or starts) a candidate run;
+			// mandatory children reset the run.
+			childStep := 0
+			cw := n.W + f.Weight
+			if eff := labels[f.From] - phi*cw + 1; eff <= L {
+				if n.Candidate {
+					childStep = steps[id] + 1
+				} else {
+					childStep = 1
+				}
+			}
+			cid, improved := add(f.From, cw, childStep)
+			if first {
+				fanins = append(fanins, cid)
+			}
+			// Re-queue on any improvement: even an already-expanded child
+			// must re-propagate its now-shallower candidate run.
+			if improved {
+				queue = append(queue, cid)
+			}
+		}
+		if first {
+			x.Fanins[id] = fanins
+		}
+	}
+	// Frontier = everything that ended up unexpanded.
+	for id := range x.Nodes {
+		x.Nodes[id].Frontier = !expanded[id]
+	}
+	return x, true
+}

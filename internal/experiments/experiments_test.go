@@ -1,0 +1,59 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestQuickTables runs every table in quick mode (small circuits only) and
+// sanity-checks the rendered output. This is the smoke test; the full runs
+// live in cmd/experiments and EXPERIMENTS.md.
+func TestQuickTables(t *testing.T) {
+	if testing.Short() {
+		t.Skip("quick tables still take tens of seconds")
+	}
+	var buf bytes.Buffer
+	cfg := Config{K: 5, Quick: true, Out: &buf}
+
+	if err := Table1(cfg); err != nil {
+		t.Fatalf("Table1: %v", err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "bbara") || !strings.Contains(out, "geomean period ratio") {
+		t.Fatalf("Table1 output incomplete:\n%s", out)
+	}
+	// TurboSYN must never lose to TurboMap on any row; the geomean ratios
+	// must be >= 1.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "geomean period ratio") {
+			if strings.Contains(line, "= 0.") {
+				t.Fatalf("ratio below 1: %s", line)
+			}
+		}
+	}
+
+	buf.Reset()
+	if err := Table2(cfg); err != nil {
+		t.Fatalf("Table2: %v", err)
+	}
+	if !strings.Contains(buf.String(), "ts.luts") {
+		t.Fatalf("Table2 output incomplete:\n%s", buf.String())
+	}
+
+	buf.Reset()
+	if err := TablePLD(cfg); err != nil {
+		t.Fatalf("TablePLD: %v", err)
+	}
+	if !strings.Contains(buf.String(), "speedup") {
+		t.Fatalf("TablePLD output incomplete:\n%s", buf.String())
+	}
+
+	buf.Reset()
+	if err := TableScale(cfg); err != nil {
+		t.Fatalf("TableScale: %v", err)
+	}
+	if !strings.Contains(buf.String(), "fsm1k") {
+		t.Fatalf("TableScale output incomplete:\n%s", buf.String())
+	}
+}

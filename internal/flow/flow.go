@@ -1,0 +1,123 @@
+// Package flow implements the small max-flow engine behind all K-feasible
+// cut computations: unit/infinite arc capacities, breadth-first augmenting
+// paths (Edmonds–Karp) with an early exit once the flow exceeds the cut
+// budget K, and residual reachability for min-cut extraction.
+//
+// Vertex capacities (the node cut-sets of FlowMap/TurboMap) are modelled by
+// the callers via node splitting.
+package flow
+
+// Inf is the capacity of an uncuttable arc.
+const Inf = int(1) << 30
+
+type arc struct {
+	to  int
+	cap int
+}
+
+// Net is a flow network over dense integer nodes.
+type Net struct {
+	arcs []arc // paired: arcs[i^1] is the reverse arc of arcs[i]
+	head [][]int
+}
+
+// NewNet returns a network with n nodes and no arcs.
+func NewNet(n int) *Net {
+	return &Net{head: make([][]int, n)}
+}
+
+// NumNodes returns the node count.
+func (n *Net) NumNodes() int { return len(n.head) }
+
+// AddNode appends a fresh node and returns its id.
+func (n *Net) AddNode() int {
+	n.head = append(n.head, nil)
+	return len(n.head) - 1
+}
+
+// AddArc adds a directed arc u->v with the given capacity (its residual
+// reverse arc is created automatically).
+func (n *Net) AddArc(u, v, cap int) {
+	n.head[u] = append(n.head[u], len(n.arcs))
+	n.arcs = append(n.arcs, arc{to: v, cap: cap})
+	n.head[v] = append(n.head[v], len(n.arcs))
+	n.arcs = append(n.arcs, arc{to: u, cap: 0})
+}
+
+// MaxFlowUpTo pushes unit augmenting paths from s to t until either no path
+// remains (the returned flow is the max flow) or the flow exceeds limit (the
+// return value is limit+1 and the computation stops early; the residual
+// state is still consistent).
+func (n *Net) MaxFlowUpTo(s, t, limit int) int {
+	flow := 0
+	prevArc := make([]int, len(n.head))
+	queue := make([]int, 0, len(n.head))
+	for flow <= limit {
+		// BFS for a shortest augmenting path.
+		for i := range prevArc {
+			prevArc[i] = -1
+		}
+		queue = queue[:0]
+		queue = append(queue, s)
+		prevArc[s] = -2
+		found := false
+	bfs:
+		for qi := 0; qi < len(queue); qi++ {
+			u := queue[qi]
+			for _, ai := range n.head[u] {
+				a := n.arcs[ai]
+				if a.cap <= 0 || prevArc[a.to] != -1 {
+					continue
+				}
+				prevArc[a.to] = ai
+				if a.to == t {
+					found = true
+					break bfs
+				}
+				queue = append(queue, a.to)
+			}
+		}
+		if !found {
+			return flow
+		}
+		// Augment by the path bottleneck (arcs are unit or Inf; bottleneck
+		// is still computed generally).
+		bottleneck := Inf
+		for v := t; v != s; {
+			ai := prevArc[v]
+			if n.arcs[ai].cap < bottleneck {
+				bottleneck = n.arcs[ai].cap
+			}
+			v = n.arcs[ai^1].to
+		}
+		for v := t; v != s; {
+			ai := prevArc[v]
+			n.arcs[ai].cap -= bottleneck
+			n.arcs[ai^1].cap += bottleneck
+			v = n.arcs[ai^1].to
+		}
+		flow += bottleneck
+	}
+	return flow
+}
+
+// ResidualReach returns the set of nodes reachable from s in the residual
+// network. After a completed MaxFlowUpTo (flow <= limit), the arcs crossing
+// from the reachable to the unreachable side form a min cut.
+func (n *Net) ResidualReach(s int) []bool {
+	seen := make([]bool, len(n.head))
+	seen[s] = true
+	queue := []int{s}
+	for len(queue) > 0 {
+		u := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		for _, ai := range n.head[u] {
+			a := n.arcs[ai]
+			if a.cap > 0 && !seen[a.to] {
+				seen[a.to] = true
+				queue = append(queue, a.to)
+			}
+		}
+	}
+	return seen
+}

@@ -1,0 +1,150 @@
+package graph
+
+// SCCs holds the strongly connected components of a graph together with the
+// condensation (the DAG of components).
+type SCCs struct {
+	// Comp maps each node to its component id. Component ids are assigned
+	// in reverse topological order by Tarjan's algorithm; use Order for a
+	// topological order of components.
+	Comp []int
+	// Members lists the nodes of each component.
+	Members [][]int
+	// Order lists component ids in topological order of the condensation:
+	// if the original graph has an edge u->v with Comp[u] != Comp[v], then
+	// Comp[u] appears before Comp[v].
+	Order []int
+	// DAG is the condensation: DAG[c] lists the distinct successor
+	// components of component c.
+	DAG Slice
+}
+
+// NumComps returns the number of strongly connected components.
+func (s *SCCs) NumComps() int { return len(s.Members) }
+
+// IsTrivial reports whether component c is a single node with no self-loop.
+func (s *SCCs) IsTrivial(g Adjacency, c int) bool {
+	if len(s.Members[c]) != 1 {
+		return false
+	}
+	u := s.Members[c][0]
+	self := false
+	g.Succ(u, func(v int) {
+		if v == u {
+			self = true
+		}
+	})
+	return !self
+}
+
+// StronglyConnected computes the strongly connected components of g using an
+// iterative Tarjan's algorithm (no recursion, so 10^5-node netlists are safe)
+// and builds the condensation DAG with a topological component order.
+func StronglyConnected(g Adjacency) *SCCs {
+	n := g.NumNodes()
+	const unvisited = -1
+	index := make([]int, n)
+	low := make([]int, n)
+	comp := make([]int, n)
+	onStack := make([]bool, n)
+	for i := range index {
+		index[i] = unvisited
+		comp[i] = unvisited
+	}
+	var (
+		counter  int
+		stack    []int // Tarjan stack of nodes
+		members  [][]int
+		succBuf  = make([][]int, n) // lazily materialized successor lists
+		callNode []int              // DFS call stack: node
+		callIdx  []int              // DFS call stack: next successor index
+	)
+	succ := func(u int) []int {
+		if succBuf[u] == nil {
+			list := []int{}
+			g.Succ(u, func(v int) { list = append(list, v) })
+			succBuf[u] = list
+		}
+		return succBuf[u]
+	}
+	for root := 0; root < n; root++ {
+		if index[root] != unvisited {
+			continue
+		}
+		callNode = append(callNode[:0], root)
+		callIdx = append(callIdx[:0], 0)
+		index[root] = counter
+		low[root] = counter
+		counter++
+		stack = append(stack, root)
+		onStack[root] = true
+		for len(callNode) > 0 {
+			u := callNode[len(callNode)-1]
+			i := callIdx[len(callIdx)-1]
+			ss := succ(u)
+			if i < len(ss) {
+				callIdx[len(callIdx)-1]++
+				v := ss[i]
+				if index[v] == unvisited {
+					index[v] = counter
+					low[v] = counter
+					counter++
+					stack = append(stack, v)
+					onStack[v] = true
+					callNode = append(callNode, v)
+					callIdx = append(callIdx, 0)
+				} else if onStack[v] && index[v] < low[u] {
+					low[u] = index[v]
+				}
+				continue
+			}
+			// Post-order for u.
+			callNode = callNode[:len(callNode)-1]
+			callIdx = callIdx[:len(callIdx)-1]
+			if len(callNode) > 0 {
+				p := callNode[len(callNode)-1]
+				if low[u] < low[p] {
+					low[p] = low[u]
+				}
+			}
+			if low[u] == index[u] {
+				var mem []int
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp[w] = len(members)
+					mem = append(mem, w)
+					if w == u {
+						break
+					}
+				}
+				members = append(members, mem)
+			}
+		}
+	}
+	s := &SCCs{Comp: comp, Members: members}
+	// Tarjan emits components in reverse topological order.
+	nc := len(members)
+	s.Order = make([]int, nc)
+	for i := 0; i < nc; i++ {
+		s.Order[i] = nc - 1 - i
+	}
+	// Condensation with deduplicated edges.
+	s.DAG = NewSlice(nc)
+	seen := make(map[[2]int]bool)
+	for u := 0; u < n; u++ {
+		cu := comp[u]
+		g.Succ(u, func(v int) {
+			cv := comp[v]
+			if cu == cv {
+				return
+			}
+			key := [2]int{cu, cv}
+			if !seen[key] {
+				seen[key] = true
+				s.DAG.AddEdge(cu, cv)
+			}
+		})
+	}
+	return s
+}

@@ -1,0 +1,48 @@
+package logic
+
+// ComposeBool substitutes functions for variables like Compose, but runs
+// word-parallel over the substituted tables via Shannon expansion of t:
+//
+//	t = ~x_j·t0 + x_j·t1  =>  result = (~subs[j] AND compose(t0)) OR
+//	                                    (subs[j] AND compose(t1))
+//
+// Cost is O(2^support(t) * words(result)) instead of the bit-serial
+// O(2^result * support(t)) of Compose — the difference matters when the
+// result ranges over many variables (cone functions over wide cuts).
+func (t *TT) ComposeBool(subs []*TT) *TT {
+	if len(subs) != t.nvar {
+		panic("logic: ComposeBool: need one substitution per variable")
+	}
+	if t.nvar == 0 {
+		panic("logic: ComposeBool on 0-var table")
+	}
+	nv := subs[0].nvar
+	for _, s := range subs {
+		if s.nvar != nv {
+			panic("logic: ComposeBool: substitutions over different variable sets")
+		}
+	}
+	negs := make([]*TT, len(subs))
+	var rec func(f *TT) *TT
+	rec = func(f *TT) *TT {
+		if c, v := f.IsConst(); c {
+			return Const(nv, v)
+		}
+		j := -1
+		for i := 0; i < f.nvar; i++ {
+			if f.DependsOn(i) {
+				j = i
+				break
+			}
+		}
+		r0 := rec(f.Cofactor(j, false))
+		r1 := rec(f.Cofactor(j, true))
+		if negs[j] == nil {
+			negs[j] = NewTT(nv).Not(subs[j])
+		}
+		lo := NewTT(nv).And(negs[j], r0)
+		hi := NewTT(nv).And(subs[j], r1)
+		return lo.Or(lo, hi)
+	}
+	return rec(t)
+}

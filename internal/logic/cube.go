@@ -1,0 +1,128 @@
+package logic
+
+// Cube is a product term over up to MaxVars variables: variable i is in the
+// cube iff bit i of Care is set, with polarity bit i of Pol (1 = positive
+// literal). The empty cube (Care == 0) is the tautology.
+type Cube struct {
+	Care uint32
+	Pol  uint32
+}
+
+// NumLiterals returns the literal count of the cube.
+func (q Cube) NumLiterals() int {
+	n := 0
+	for m := q.Care; m != 0; m &= m - 1 {
+		n++
+	}
+	return n
+}
+
+// TT materializes the cube as a truth table over nvar variables.
+func (q Cube) TT(nvar int) *TT {
+	t := Const(nvar, true)
+	for i := 0; i < nvar; i++ {
+		if q.Care&(1<<uint(i)) == 0 {
+			continue
+		}
+		x := Var(nvar, i)
+		if q.Pol&(1<<uint(i)) == 0 {
+			x.Not(x)
+		}
+		t.And(t, x)
+	}
+	return t
+}
+
+// CoverTT returns the disjunction of the cubes over nvar variables.
+func CoverTT(nvar int, cover []Cube) *TT {
+	t := Const(nvar, false)
+	for _, q := range cover {
+		t.Or(t, q.TT(nvar))
+	}
+	return t
+}
+
+// ISOP computes an irredundant sum-of-products cover of f using the
+// Minato–Morreale procedure. The cover is exact: CoverTT(f.NumVars(), cover)
+// equals f. Covers are usually far smaller than minterm covers, which keeps
+// the gate-decomposition trees (and BLIF files) small.
+func ISOP(f *TT) []Cube {
+	cover, _ := isop(f.Clone(), f.Clone(), f.NumVars())
+	return cover
+}
+
+// isop returns a cover C with L <= C <= U and the TT of C.
+// L and U are consumed (mutated).
+func isop(l, u *TT, nvar int) ([]Cube, *TT) {
+	if c, v := l.IsConst(); c && !v {
+		return nil, Const(l.NumVars(), false)
+	}
+	if c, v := u.IsConst(); c && v {
+		return []Cube{{}}, Const(l.NumVars(), true)
+	}
+	// Split on the lowest variable where either bound actually varies.
+	x := -1
+	for i := 0; i < nvar; i++ {
+		if l.DependsOn(i) || u.DependsOn(i) {
+			x = i
+			break
+		}
+	}
+	if x == -1 {
+		// l is not constant-0 and u is not constant-1, yet neither depends
+		// on anything: impossible since l <= u.
+		panic("logic: isop invariant violated")
+	}
+	n := l.NumVars()
+	l0, l1 := l.Cofactor(x, false), l.Cofactor(x, true)
+	u0, u1 := u.Cofactor(x, false), u.Cofactor(x, true)
+
+	// Cubes that must carry literal !x: needed where f must be 1 with x=0
+	// but cannot be covered by an x-free cube (u1 is 0 there).
+	nu1 := NewTT(n).Not(u1)
+	c0, t0 := isop(NewTT(n).And(l0, nu1), u0.Clone(), nvar)
+	// Cubes that must carry literal x.
+	nu0 := NewTT(n).Not(u0)
+	c1, t1 := isop(NewTT(n).And(l1, nu0), u1.Clone(), nvar)
+	// Remaining requirements, coverable without mentioning x.
+	d0 := NewTT(n).And(l0, NewTT(n).Not(t0))
+	d1 := NewTT(n).And(l1, NewTT(n).Not(t1))
+	cc, tc := isop(NewTT(n).Or(d0, d1), NewTT(n).And(u0, u1), nvar)
+
+	out := make([]Cube, 0, len(c0)+len(c1)+len(cc))
+	for _, q := range c0 {
+		q.Care |= 1 << uint(x)
+		out = append(out, q)
+	}
+	for _, q := range c1 {
+		q.Care |= 1 << uint(x)
+		q.Pol |= 1 << uint(x)
+		out = append(out, q)
+	}
+	out = append(out, cc...)
+
+	xv := Var(n, x)
+	nxv := NewTT(n).Not(xv)
+	res := NewTT(n).Or(
+		NewTT(n).Or(NewTT(n).And(nxv, t0), NewTT(n).And(xv, t1)),
+		tc)
+	return out, res
+}
+
+// IsParity reports whether f is an affine parity function over its support:
+// f = c XOR x_{i1} XOR ... XOR x_{ik}. It returns the support and the
+// complement flag when so.
+func (t *TT) IsParity() (support []int, invert, ok bool) {
+	support = t.Support()
+	p := Const(t.nvar, false)
+	for _, i := range support {
+		p.Xor(p, Var(t.nvar, i))
+	}
+	if p.Equal(t) {
+		return support, false, true
+	}
+	if NewTT(t.nvar).Not(p).Equal(t) {
+		return support, true, true
+	}
+	return nil, false, false
+}

@@ -1,0 +1,216 @@
+package netlist
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"turbosyn/internal/logic"
+)
+
+const sampleBLIF = `
+# a 2-bit counter-ish machine
+.model count2
+.inputs en
+.outputs q0 q1
+.latch d0 q0 0
+.latch d1 q1 0
+.names en q0 d0
+10 1
+01 1
+.names en q0 q1 d1
+# carry into bit 1
+110 1
+001 1
+011 1
+.end
+`
+
+func TestReadBLIFBasic(t *testing.T) {
+	c, err := ReadBLIF(strings.NewReader(sampleBLIF))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Name != "count2" {
+		t.Errorf("model name %q", c.Name)
+	}
+	if len(c.PIs) != 1 || len(c.POs) != 2 {
+		t.Fatalf("PI/PO counts: %d/%d", len(c.PIs), len(c.POs))
+	}
+	if c.NumGates() != 2 {
+		t.Errorf("gates = %d", c.NumGates())
+	}
+	// q0 is d0 delayed by one FF; gate d0 reads q0 = itself with weight 1.
+	d0 := c.IDByName("d0")
+	if d0 == -1 {
+		t.Fatal("gate d0 missing")
+	}
+	var selfW int
+	for _, f := range c.Nodes[d0].Fanins {
+		if f.From == d0 {
+			selfW = f.Weight
+		}
+	}
+	if selfW != 1 {
+		t.Errorf("self loop weight = %d, want 1", selfW)
+	}
+	if c.NumFFs() == 0 {
+		t.Error("latches lost")
+	}
+	if err := c.Check(); err != nil {
+		t.Fatal(err)
+	}
+	// d0 = en XOR q0.
+	if !c.Nodes[d0].Func.Equal(logic.XorAll(2)) {
+		t.Errorf("d0 function = %s", c.Nodes[d0].Func)
+	}
+}
+
+func TestReadBLIFLatchChain(t *testing.T) {
+	src := `
+.model chain
+.inputs a
+.outputs z
+.latch a p 0
+.latch p q 0
+.names q z
+1 1
+.end
+`
+	c, err := ReadBLIF(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	z := c.IDByName("z")
+	if f := c.Nodes[z].Fanins[0]; f.Weight != 2 || f.From != c.IDByName("a") {
+		t.Fatalf("chained latch fanin = %+v", f)
+	}
+}
+
+func TestReadBLIFConstantsAndPolarity(t *testing.T) {
+	src := `
+.model consts
+.inputs a
+.outputs c1 c0 inv
+.names c1
+1
+.names c0
+.names a inv
+1 0
+.end
+`
+	c, err := ReadBLIF(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f := c.Nodes[c.IDByName("c1")].Func; f.CountOnes() != 1 || f.NumVars() != 0 {
+		t.Errorf("const 1 wrong: %s", f)
+	}
+	if f := c.Nodes[c.IDByName("c0")].Func; f.CountOnes() != 0 {
+		t.Errorf("const 0 wrong: %s", f)
+	}
+	if f := c.Nodes[c.IDByName("inv")].Func; !f.Equal(logic.Inv()) {
+		t.Errorf("offset cover should invert: %s", f)
+	}
+}
+
+func TestReadBLIFErrors(t *testing.T) {
+	cases := map[string]string{
+		"undefined signal": ".model m\n.inputs a\n.outputs z\n.names b z\n1 1\n.end",
+		"double define":    ".model m\n.inputs a a\n.outputs a\n.end",
+		"latch cycle":      ".model m\n.inputs a\n.outputs q\n.latch q q 0\n.end",
+		"mixed polarity":   ".model m\n.inputs a b\n.outputs z\n.names a b z\n11 1\n00 0\n.end",
+		"bad cube char":    ".model m\n.inputs a\n.outputs z\n.names a z\n2 1\n.end",
+		"cube width":       ".model m\n.inputs a b\n.outputs z\n.names a b z\n1 1\n.end",
+		"comb loop":        ".model m\n.inputs a\n.outputs x\n.names a y x\n11 1\n.names x y\n1 1\n.end",
+	}
+	for name, src := range cases {
+		if _, err := ReadBLIF(strings.NewReader(src)); err == nil {
+			t.Errorf("%s: error not reported", name)
+		}
+	}
+}
+
+func TestBLIFRoundTrip(t *testing.T) {
+	c, err := ReadBLIF(strings.NewReader(sampleBLIF))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteBLIF(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	d, err := ReadBLIF(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("re-read failed: %v\n%s", err, buf.String())
+	}
+	if d.NumGates() < c.NumGates() {
+		t.Errorf("gates lost: %d -> %d", c.NumGates(), d.NumGates())
+	}
+	if d.NumFFs() != c.NumFFs() {
+		t.Errorf("FF count changed: %d -> %d", c.NumFFs(), d.NumFFs())
+	}
+	if len(d.PIs) != len(c.PIs) || len(d.POs) != len(c.POs) {
+		t.Error("interface changed")
+	}
+	if err := d.Check(); err != nil {
+		t.Fatal(err)
+	}
+	// Output names survive.
+	for i, po := range c.POs {
+		want := strings.TrimSuffix(c.Nodes[po].Name, "$po")
+		got := strings.TrimSuffix(d.Nodes[d.POs[i]].Name, "$po")
+		if got != want {
+			t.Errorf("PO %d renamed %q -> %q", i, want, got)
+		}
+	}
+}
+
+func TestWriteBLIFSharedLatchChains(t *testing.T) {
+	// Two consumers at weights 1 and 2 must share one chain: 2 latches.
+	c := NewCircuit("share")
+	pi := c.AddPI("a")
+	g := c.AddGate("g", logic.Buf(), Fanin{From: pi})
+	x := c.AddGate("x", logic.Buf(), Fanin{From: g, Weight: 1})
+	y := c.AddGate("y", logic.AndAll(2), Fanin{From: g, Weight: 2}, Fanin{From: x})
+	c.AddPO("z", y, 0)
+	var buf bytes.Buffer
+	if err := WriteBLIF(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	if n := strings.Count(buf.String(), ".latch"); n != 2 {
+		t.Fatalf("want 2 latches, got %d:\n%s", n, buf.String())
+	}
+	d, err := ReadBLIF(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NumFFs() != 3 { // re-reading un-shares: edge weights 1+2
+		t.Errorf("re-read FF count (edge weights) = %d, want 3", d.NumFFs())
+	}
+}
+
+func TestLogicalLinesContinuation(t *testing.T) {
+	src := ".inputs a \\\nb c\n.outputs z # comment\n"
+	lines, err := logicalLines(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lines) != 2 || !strings.Contains(lines[0], "b c") {
+		t.Fatalf("continuation handling: %q", lines)
+	}
+	if strings.Contains(lines[1], "comment") {
+		t.Fatal("comment not stripped")
+	}
+}
+
+func TestCoverToTTWideGate(t *testing.T) {
+	// 8-input AND via a single cube.
+	tt, err := coverToTT(8, []string{"11111111 1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tt.Equal(logic.AndAll(8)) {
+		t.Error("wide AND cover wrong")
+	}
+}

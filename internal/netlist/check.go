@@ -1,0 +1,71 @@
+package netlist
+
+import (
+	"fmt"
+
+	"turbosyn/internal/graph"
+)
+
+// Check verifies the structural invariants the mapping and retiming engines
+// rely on:
+//
+//   - every PO has exactly one fanin; PIs have none,
+//   - every gate function ranges over its fanin count,
+//   - edge weights are non-negative,
+//   - the combinational subgraph (zero-weight edges) is acyclic, i.e. every
+//     loop carries at least one flipflop (a synchronous circuit).
+//
+// It returns the first violation found, or nil.
+func (c *Circuit) Check() error {
+	for _, n := range c.Nodes {
+		switch n.Kind {
+		case PI:
+			if len(n.Fanins) != 0 {
+				return fmt.Errorf("netlist: PI %q has %d fanins", n.Name, len(n.Fanins))
+			}
+		case PO:
+			if len(n.Fanins) != 1 {
+				return fmt.Errorf("netlist: PO %q has %d fanins, want 1", n.Name, len(n.Fanins))
+			}
+		case Gate:
+			if n.Func == nil {
+				return fmt.Errorf("netlist: gate %q has no function", n.Name)
+			}
+			if n.Func.NumVars() != len(n.Fanins) {
+				return fmt.Errorf("netlist: gate %q: %d-var function, %d fanins",
+					n.Name, n.Func.NumVars(), len(n.Fanins))
+			}
+		}
+		for _, f := range n.Fanins {
+			if f.From < 0 || f.From >= len(c.Nodes) {
+				return fmt.Errorf("netlist: node %q: fanin id %d out of range", n.Name, f.From)
+			}
+			if f.Weight < 0 {
+				return fmt.Errorf("netlist: node %q: negative edge weight", n.Name)
+			}
+			if c.Nodes[f.From].Kind == PO {
+				return fmt.Errorf("netlist: node %q driven by PO %q", n.Name, c.Nodes[f.From].Name)
+			}
+		}
+	}
+	if _, ok := graph.TopoOrder(c.CombAdj()); !ok {
+		return fmt.Errorf("netlist: %s: combinational cycle (a loop without flipflops)", c.Name)
+	}
+	return nil
+}
+
+// IsKBounded reports whether every gate has at most k fanins.
+func (c *Circuit) IsKBounded(k int) bool {
+	return c.MaxFanin() <= k
+}
+
+// CombTopoOrder returns a topological order of all nodes with respect to the
+// zero-weight (combinational) edges. It panics if the circuit has a
+// combinational cycle; call Check first.
+func (c *Circuit) CombTopoOrder() []int {
+	order, ok := graph.TopoOrder(c.CombAdj())
+	if !ok {
+		panic("netlist: combinational cycle; run Check before CombTopoOrder")
+	}
+	return order
+}

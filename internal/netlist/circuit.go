@@ -1,0 +1,256 @@
+// Package netlist represents sequential circuits as retiming graphs
+// (Leiserson–Saxe): nodes are primary inputs, primary outputs and gates;
+// every edge carries a weight equal to the number of flipflops on the
+// connection. Gates carry their local Boolean function as a truth table over
+// their fanins, so the same structure serves as the subject circuit and as
+// the mapped K-LUT network.
+//
+// The package also reads and writes the SIS-era BLIF format (.names/.latch),
+// converting explicit latches to and from edge weights.
+package netlist
+
+import (
+	"fmt"
+
+	"turbosyn/internal/graph"
+	"turbosyn/internal/logic"
+)
+
+// Kind classifies a node.
+type Kind int8
+
+// Node kinds.
+const (
+	Gate Kind = iota // combinational gate / LUT; unit delay
+	PI               // primary input; zero delay
+	PO               // primary output; zero delay, exactly one fanin
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Gate:
+		return "gate"
+	case PI:
+		return "pi"
+	case PO:
+		return "po"
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// Fanin is one incoming connection of a node: the driving node and the
+// number of flipflops on the connection.
+type Fanin struct {
+	From   int
+	Weight int
+}
+
+// Node is one vertex of the retiming graph.
+type Node struct {
+	ID     int
+	Kind   Kind
+	Name   string
+	Fanins []Fanin
+	// Func is the gate function over the fanins (fanin i = variable i).
+	// It is nil for PIs and POs; a PO forwards its single fanin.
+	Func *logic.TT
+}
+
+// Delay returns the unit-delay model value for the node: 1 for gates,
+// 0 for PIs and POs.
+func (n *Node) Delay() int {
+	if n.Kind == Gate {
+		return 1
+	}
+	return 0
+}
+
+// Circuit is a sequential circuit in retiming-graph form.
+type Circuit struct {
+	Name  string
+	Nodes []*Node
+	PIs   []int
+	POs   []int
+
+	byName  map[string]int
+	fanouts [][]Fanout // lazily built; invalidated by mutation
+}
+
+// Fanout is one outgoing connection: the consuming node, which of its fanin
+// slots this connection feeds, and the FF count on it.
+type Fanout struct {
+	To     int
+	Slot   int
+	Weight int
+}
+
+// NewCircuit returns an empty circuit with the given name.
+func NewCircuit(name string) *Circuit {
+	return &Circuit{Name: name, byName: make(map[string]int)}
+}
+
+// NumNodes returns the total node count (PIs + POs + gates).
+func (c *Circuit) NumNodes() int { return len(c.Nodes) }
+
+// NumGates returns the number of gate nodes.
+func (c *Circuit) NumGates() int {
+	n := 0
+	for _, nd := range c.Nodes {
+		if nd.Kind == Gate {
+			n++
+		}
+	}
+	return n
+}
+
+// NumFFs returns the total number of flipflops (the sum of edge weights).
+func (c *Circuit) NumFFs() int {
+	n := 0
+	for _, nd := range c.Nodes {
+		for _, f := range nd.Fanins {
+			n += f.Weight
+		}
+	}
+	return n
+}
+
+// Node's name lookup. Returns -1 when absent.
+func (c *Circuit) IDByName(name string) int {
+	if id, ok := c.byName[name]; ok {
+		return id
+	}
+	return -1
+}
+
+func (c *Circuit) addNode(n *Node) int {
+	if n.Name != "" {
+		if _, dup := c.byName[n.Name]; dup {
+			panic(fmt.Sprintf("netlist: duplicate node name %q", n.Name))
+		}
+	}
+	n.ID = len(c.Nodes)
+	c.Nodes = append(c.Nodes, n)
+	if n.Name != "" {
+		c.byName[n.Name] = n.ID
+	}
+	c.fanouts = nil
+	return n.ID
+}
+
+// AddPI adds a primary input and returns its id.
+func (c *Circuit) AddPI(name string) int {
+	id := c.addNode(&Node{Kind: PI, Name: name})
+	c.PIs = append(c.PIs, id)
+	return id
+}
+
+// AddPO adds a primary output driven by node from through weight flipflops
+// and returns its id.
+func (c *Circuit) AddPO(name string, from, weight int) int {
+	c.checkRef(from)
+	id := c.addNode(&Node{Kind: PO, Name: name, Fanins: []Fanin{{From: from, Weight: weight}}})
+	c.POs = append(c.POs, id)
+	return id
+}
+
+// AddGate adds a gate computing fn over the given fanins and returns its id.
+// fn must range over exactly len(fanins) variables.
+func (c *Circuit) AddGate(name string, fn *logic.TT, fanins ...Fanin) int {
+	if fn == nil {
+		panic("netlist: AddGate with nil function")
+	}
+	if fn.NumVars() != len(fanins) {
+		panic(fmt.Sprintf("netlist: gate %q: %d-var function with %d fanins",
+			name, fn.NumVars(), len(fanins)))
+	}
+	for _, f := range fanins {
+		c.checkRef(f.From)
+		if f.Weight < 0 {
+			panic("netlist: negative edge weight")
+		}
+	}
+	return c.addNode(&Node{Kind: Gate, Name: name, Func: fn, Fanins: fanins})
+}
+
+func (c *Circuit) checkRef(id int) {
+	if id < 0 || id >= len(c.Nodes) {
+		panic(fmt.Sprintf("netlist: node id %d out of range", id))
+	}
+	if c.Nodes[id].Kind == PO {
+		panic(fmt.Sprintf("netlist: node %d is a PO and cannot drive anything", id))
+	}
+}
+
+// InvalidateCaches drops derived data (fanout lists) after direct mutation
+// of Nodes or Fanins.
+func (c *Circuit) InvalidateCaches() { c.fanouts = nil }
+
+// Fanouts returns the fanout list of node id.
+func (c *Circuit) Fanouts(id int) []Fanout {
+	if c.fanouts == nil {
+		c.fanouts = make([][]Fanout, len(c.Nodes))
+		for _, n := range c.Nodes {
+			for slot, f := range n.Fanins {
+				c.fanouts[f.From] = append(c.fanouts[f.From],
+					Fanout{To: n.ID, Slot: slot, Weight: f.Weight})
+			}
+		}
+	}
+	return c.fanouts[id]
+}
+
+// Adj returns the circuit as a graph.Adjacency over all nodes (edge
+// weights dropped).
+func (c *Circuit) Adj() graph.Adjacency { return circuitAdj{c} }
+
+type circuitAdj struct{ c *Circuit }
+
+func (a circuitAdj) NumNodes() int { return len(a.c.Nodes) }
+func (a circuitAdj) Succ(u int, fn func(v int)) {
+	for _, f := range a.c.Fanouts(u) {
+		fn(f.To)
+	}
+}
+
+// CombAdj returns the combinational subgraph: only zero-weight edges.
+func (c *Circuit) CombAdj() graph.Adjacency { return combAdj{c} }
+
+type combAdj struct{ c *Circuit }
+
+func (a combAdj) NumNodes() int { return len(a.c.Nodes) }
+func (a combAdj) Succ(u int, fn func(v int)) {
+	for _, f := range a.c.Fanouts(u) {
+		if f.Weight == 0 {
+			fn(f.To)
+		}
+	}
+}
+
+// Clone returns a deep copy of the circuit. Gate functions are shared
+// (truth tables are immutable by convention once attached).
+func (c *Circuit) Clone() *Circuit {
+	d := NewCircuit(c.Name)
+	d.Nodes = make([]*Node, len(c.Nodes))
+	for i, n := range c.Nodes {
+		cp := *n
+		cp.Fanins = append([]Fanin(nil), n.Fanins...)
+		d.Nodes[i] = &cp
+		if cp.Name != "" {
+			d.byName[cp.Name] = i
+		}
+	}
+	d.PIs = append([]int(nil), c.PIs...)
+	d.POs = append([]int(nil), c.POs...)
+	return d
+}
+
+// MaxFanin returns the largest gate fanin count.
+func (c *Circuit) MaxFanin() int {
+	m := 0
+	for _, n := range c.Nodes {
+		if n.Kind == Gate && len(n.Fanins) > m {
+			m = len(n.Fanins)
+		}
+	}
+	return m
+}

@@ -1,0 +1,164 @@
+package netlist
+
+import (
+	"testing"
+
+	"turbosyn/internal/graph"
+	"turbosyn/internal/logic"
+)
+
+// buildCounterLike returns a tiny sequential circuit:
+//
+//	pi -> g1(xor) -> g2(and) -> po
+//	        ^----------(w=1)----'   (loop g1->g2->g1 with one FF)
+func buildCounterLike(t *testing.T) *Circuit {
+	t.Helper()
+	c := NewCircuit("tiny")
+	pi := c.AddPI("in")
+	g1 := c.AddGate("g1", logic.XorAll(2), Fanin{From: pi}, Fanin{From: pi})
+	// placeholder second fanin replaced below to create the loop
+	g2 := c.AddGate("g2", logic.AndAll(2), Fanin{From: g1}, Fanin{From: pi})
+	c.Nodes[g1].Fanins[1] = Fanin{From: g2, Weight: 1}
+	c.InvalidateCaches()
+	c.AddPO("out", g2, 0)
+	if err := c.Check(); err != nil {
+		t.Fatalf("Check: %v", err)
+	}
+	return c
+}
+
+func TestBuildAndCounts(t *testing.T) {
+	c := buildCounterLike(t)
+	if c.NumNodes() != 4 {
+		t.Errorf("NumNodes = %d", c.NumNodes())
+	}
+	if c.NumGates() != 2 {
+		t.Errorf("NumGates = %d", c.NumGates())
+	}
+	if c.NumFFs() != 1 {
+		t.Errorf("NumFFs = %d", c.NumFFs())
+	}
+	if c.MaxFanin() != 2 || !c.IsKBounded(2) || c.IsKBounded(1) {
+		t.Error("fanin bookkeeping wrong")
+	}
+	if c.IDByName("g1") == -1 || c.IDByName("nosuch") != -1 {
+		t.Error("name lookup wrong")
+	}
+}
+
+func TestFanouts(t *testing.T) {
+	c := buildCounterLike(t)
+	pi := c.IDByName("in")
+	fo := c.Fanouts(pi)
+	if len(fo) != 2 { // g1 slot 0 (slot 1 was rewired to g2) + g2 slot 1
+		t.Fatalf("pi fanouts = %v", fo)
+	}
+	g2 := c.IDByName("g2")
+	var loop *Fanout
+	for i := range c.Fanouts(g2) {
+		f := c.Fanouts(g2)[i]
+		if f.To == c.IDByName("g1") {
+			loop = &f
+		}
+	}
+	if loop == nil || loop.Weight != 1 || loop.Slot != 1 {
+		t.Fatalf("loop fanout wrong: %+v", loop)
+	}
+}
+
+func TestCombCycleDetected(t *testing.T) {
+	c := NewCircuit("bad")
+	pi := c.AddPI("in")
+	g1 := c.AddGate("g1", logic.AndAll(2), Fanin{From: pi}, Fanin{From: pi})
+	g2 := c.AddGate("g2", logic.AndAll(2), Fanin{From: g1}, Fanin{From: pi})
+	c.Nodes[g1].Fanins[1] = Fanin{From: g2, Weight: 0} // zero-weight loop
+	c.InvalidateCaches()
+	c.AddPO("out", g2, 0)
+	if err := c.Check(); err == nil {
+		t.Fatal("combinational cycle not detected")
+	}
+}
+
+func TestCheckRejectsBadStructures(t *testing.T) {
+	c := NewCircuit("x")
+	pi := c.AddPI("a")
+	g := c.AddGate("g", logic.Buf(), Fanin{From: pi})
+	c.AddPO("o", g, 0)
+
+	bad := c.Clone()
+	bad.Nodes[g].Func = logic.AndAll(2)
+	if err := bad.Check(); err == nil {
+		t.Error("arity mismatch not detected")
+	}
+	bad = c.Clone()
+	bad.Nodes[g].Fanins[0].Weight = -1
+	if err := bad.Check(); err == nil {
+		t.Error("negative weight not detected")
+	}
+	bad = c.Clone()
+	bad.Nodes[g].Func = nil
+	if err := bad.Check(); err == nil {
+		t.Error("missing function not detected")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	c := buildCounterLike(t)
+	d := c.Clone()
+	d.Nodes[d.IDByName("g1")].Fanins[0].Weight = 7
+	if c.Nodes[c.IDByName("g1")].Fanins[0].Weight == 7 {
+		t.Fatal("clone shares fanin storage")
+	}
+	if d.IDByName("g2") != c.IDByName("g2") {
+		t.Fatal("clone changed ids")
+	}
+}
+
+func TestAdjAndCombAdj(t *testing.T) {
+	c := buildCounterLike(t)
+	s := graph.StronglyConnected(c.Adj())
+	g1, g2 := c.IDByName("g1"), c.IDByName("g2")
+	if s.Comp[g1] != s.Comp[g2] {
+		t.Error("loop nodes should share an SCC in the full graph")
+	}
+	if _, ok := graph.TopoOrder(c.CombAdj()); !ok {
+		t.Error("combinational subgraph must be acyclic")
+	}
+	order := c.CombTopoOrder()
+	if len(order) != c.NumNodes() {
+		t.Errorf("topo order covers %d of %d nodes", len(order), c.NumNodes())
+	}
+}
+
+func TestDelayModel(t *testing.T) {
+	c := buildCounterLike(t)
+	if c.Nodes[c.PIs[0]].Delay() != 0 || c.Nodes[c.POs[0]].Delay() != 0 {
+		t.Error("PI/PO must have zero delay")
+	}
+	if c.Nodes[c.IDByName("g1")].Delay() != 1 {
+		t.Error("gates have unit delay")
+	}
+}
+
+func TestPanicsOnMisuse(t *testing.T) {
+	c := NewCircuit("p")
+	pi := c.AddPI("a")
+	po := c.AddPO("o", pi, 0)
+	assertPanics := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		fn()
+	}
+	assertPanics("gate driven by PO", func() {
+		c.AddGate("g", logic.Buf(), Fanin{From: po})
+	})
+	assertPanics("arity mismatch", func() {
+		c.AddGate("g", logic.AndAll(2), Fanin{From: pi})
+	})
+	assertPanics("duplicate name", func() { c.AddPI("a") })
+	assertPanics("nil function", func() { c.AddGate("g", nil, Fanin{From: pi}) })
+	assertPanics("bad ref", func() { c.AddGate("g", logic.Buf(), Fanin{From: 99}) })
+}

@@ -1,0 +1,191 @@
+package netlist
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"turbosyn/internal/logic"
+)
+
+// randomCircuit builds a random well-formed sequential circuit (back edges
+// always registered).
+func randomCircuit(rng *rand.Rand, nGates int) *Circuit {
+	c := NewCircuit("rt")
+	nPI := 1 + rng.Intn(4)
+	ids := make([]int, 0, nGates+nPI)
+	for i := 0; i < nPI; i++ {
+		ids = append(ids, c.AddPI(string(rune('a'+i))))
+	}
+	var gates []int
+	for i := 0; i < nGates; i++ {
+		nf := 1 + rng.Intn(3)
+		fanins := make([]Fanin, nf)
+		for j := range fanins {
+			fanins[j] = Fanin{From: ids[rng.Intn(len(ids))], Weight: rng.Intn(3)}
+		}
+		fn := logic.NewTT(nf)
+		for b := 0; b < fn.NumBits(); b++ {
+			if rng.Intn(2) == 1 {
+				fn.SetBit(b, true)
+			}
+		}
+		id := c.AddGate("", fn, fanins...)
+		ids = append(ids, id)
+		gates = append(gates, id)
+	}
+	for i := 0; i < nGates/4 && len(gates) > 1; i++ {
+		g := gates[rng.Intn(len(gates))]
+		n := c.Nodes[g]
+		slot := rng.Intn(len(n.Fanins))
+		n.Fanins[slot] = Fanin{From: gates[rng.Intn(len(gates))], Weight: 1 + rng.Intn(2)}
+	}
+	c.InvalidateCaches()
+	nPO := 1 + rng.Intn(3)
+	for i := 0; i < nPO; i++ {
+		c.AddPO("z"+string(rune('0'+i)), gates[rng.Intn(len(gates))], rng.Intn(2))
+	}
+	return c
+}
+
+// TestBLIFRoundTripRandom: write/read random circuits; interface, register
+// budget and structure must survive.
+func TestBLIFRoundTripRandom(t *testing.T) {
+	for seed := int64(0); seed < 40; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		c := randomCircuit(rng, 5+rng.Intn(30))
+		if c.Check() != nil {
+			continue
+		}
+		var buf bytes.Buffer
+		if err := WriteBLIF(&buf, c); err != nil {
+			t.Fatalf("seed %d: write: %v", seed, err)
+		}
+		d, err := ReadBLIF(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("seed %d: read: %v\n%s", seed, err, buf.String())
+		}
+		if err := d.Check(); err != nil {
+			t.Fatalf("seed %d: check: %v", seed, err)
+		}
+		if len(d.PIs) != len(c.PIs) || len(d.POs) != len(c.POs) {
+			t.Fatalf("seed %d: interface changed", seed)
+		}
+		// Latch sharing means edge-weight totals can differ from the
+		// written chains, but the chain depth bound must hold: the re-read
+		// circuit cannot have FEWER registers on any path. Spot-check the
+		// total is at least the max single edge weight.
+		maxW := 0
+		for _, n := range c.Nodes {
+			for _, f := range n.Fanins {
+				if f.Weight > maxW {
+					maxW = f.Weight
+				}
+			}
+		}
+		if d.NumFFs() < maxW {
+			t.Fatalf("seed %d: registers lost: %d < %d", seed, d.NumFFs(), maxW)
+		}
+	}
+}
+
+// TestBLIFRoundTripSimEquivalence: behaviour survives a write/read cycle.
+// (Semantic comparison runs in the sim package's court: latch init 0 both
+// sides, identical interface order.)
+func TestBLIFRoundTripSimEquivalence(t *testing.T) {
+	for seed := int64(100); seed < 115; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		c := randomCircuit(rng, 5+rng.Intn(20))
+		if c.Check() != nil {
+			continue
+		}
+		var buf bytes.Buffer
+		if err := WriteBLIF(&buf, c); err != nil {
+			t.Fatal(err)
+		}
+		d, err := ReadBLIF(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !simEqual(t, c, d, rng, 150) {
+			t.Fatalf("seed %d: behaviour changed by BLIF round trip", seed)
+		}
+	}
+}
+
+// simEqual is a tiny local co-simulation (the sim package depends on
+// netlist, so netlist tests cannot import it).
+func simEqual(t *testing.T, a, b *Circuit, rng *rand.Rand, cycles int) bool {
+	t.Helper()
+	runner := func(c *Circuit) func([]bool) []bool {
+		order := c.CombTopoOrder()
+		depth := make([]int, c.NumNodes())
+		for _, n := range c.Nodes {
+			for _, f := range n.Fanins {
+				if f.Weight > depth[f.From] {
+					depth[f.From] = f.Weight
+				}
+			}
+		}
+		hist := make([][]bool, c.NumNodes())
+		for i, d := range depth {
+			hist[i] = make([]bool, d+1)
+		}
+		cur := make([]bool, c.NumNodes())
+		tick := 0
+		return func(in []bool) []bool {
+			for i, pi := range c.PIs {
+				cur[pi] = in[i]
+			}
+			for _, id := range order {
+				n := c.Nodes[id]
+				val := func(f Fanin) bool {
+					if f.Weight == 0 {
+						return cur[f.From]
+					}
+					if f.Weight > tick {
+						return false
+					}
+					d := len(hist[f.From])
+					return hist[f.From][((tick-f.Weight)%d+d)%d]
+				}
+				switch n.Kind {
+				case PI:
+				case PO:
+					cur[id] = val(n.Fanins[0])
+				default:
+					var x uint
+					for k, f := range n.Fanins {
+						if val(f) {
+							x |= 1 << uint(k)
+						}
+					}
+					cur[id] = n.Func.Eval(x)
+				}
+			}
+			out := make([]bool, len(c.POs))
+			for i, po := range c.POs {
+				out[i] = cur[po]
+			}
+			for id := range hist {
+				hist[id][tick%len(hist[id])] = cur[id]
+			}
+			tick++
+			return out
+		}
+	}
+	ra, rb := runner(a), runner(b)
+	for t2 := 0; t2 < cycles; t2++ {
+		in := make([]bool, len(a.PIs))
+		for i := range in {
+			in[i] = rng.Intn(2) == 1
+		}
+		oa, ob := ra(in), rb(in)
+		for j := range oa {
+			if oa[j] != ob[j] {
+				return false
+			}
+		}
+	}
+	return true
+}

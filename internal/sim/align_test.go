@@ -1,0 +1,110 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"turbosyn/internal/logic"
+	"turbosyn/internal/netlist"
+)
+
+// delayedCopy builds b as a "mapped" version of a = toggler where the LUT
+// reads (g,2) instead of (g,1) by absorbing one unrolling:
+//
+//	a: g = en XOR g@1
+//	b: g' = (en XOR en@1) XOR g'@2   (same stream once histories align)
+func delayedCopyPair(t *testing.T) (a, b *netlist.Circuit, origOf []int) {
+	t.Helper()
+	a = netlist.NewCircuit("a")
+	en := a.AddPI("en")
+	g := a.AddGate("g", logic.XorAll(2),
+		netlist.Fanin{From: en}, netlist.Fanin{From: en})
+	a.Nodes[g].Fanins[1] = netlist.Fanin{From: g, Weight: 1}
+	a.InvalidateCaches()
+	a.AddPO("q", g, 0)
+	if err := a.Check(); err != nil {
+		t.Fatal(err)
+	}
+
+	b = netlist.NewCircuit("b")
+	enB := b.AddPI("en")
+	// g'(t) = en(t) XOR en(t-1) XOR g'(t-2)
+	x3 := logic.XorAll(3)
+	gB := b.AddGate("g", x3,
+		netlist.Fanin{From: enB},
+		netlist.Fanin{From: enB, Weight: 1},
+		netlist.Fanin{From: enB}) // placeholder
+	b.Nodes[gB].Fanins[2] = netlist.Fanin{From: gB, Weight: 2}
+	b.InvalidateCaches()
+	b.AddPO("q", gB, 0)
+	if err := b.Check(); err != nil {
+		t.Fatal(err)
+	}
+
+	origOf = make([]int, b.NumNodes())
+	origOf[enB] = en
+	origOf[gB] = g
+	origOf[b.POs[0]] = a.POs[0]
+	return a, b, origOf
+}
+
+func TestCompareAlignedAcceptsUnrolledCover(t *testing.T) {
+	a, b, origOf := delayedCopyPair(t)
+	rng := rand.New(rand.NewSource(1))
+	vecs := RandomVectors(rng, 300, 1)
+	// Unaligned comparison fails from the zero state whenever the machines
+	// fall into different parities...; aligned must always pass.
+	if err := CompareAligned(a, b, origOf, vecs, 4); err != nil {
+		t.Fatalf("aligned comparison failed: %v", err)
+	}
+}
+
+func TestCompareAlignedCatchesRealBugs(t *testing.T) {
+	a, b, origOf := delayedCopyPair(t)
+	// Corrupt b: flip the function.
+	gB := b.IDByName("g")
+	b.Nodes[gB].Func = logic.NewTT(3).Not(logic.XorAll(3))
+	rng := rand.New(rand.NewSource(2))
+	vecs := RandomVectors(rng, 100, 1)
+	if err := CompareAligned(a, b, origOf, vecs, 4); err == nil {
+		t.Fatal("functional corruption not detected")
+	}
+}
+
+func TestCompareAlignedValidation(t *testing.T) {
+	a, b, origOf := delayedCopyPair(t)
+	rng := rand.New(rand.NewSource(3))
+	vecs := RandomVectors(rng, 50, 1)
+	if err := CompareAligned(a, b, origOf[:1], vecs, 4); err == nil {
+		t.Fatal("short origOf accepted")
+	}
+	// Register source without an origin must be rejected.
+	bad := append([]int(nil), origOf...)
+	bad[b.IDByName("g")] = -1
+	if err := CompareAligned(a, b, bad, vecs, 4); err == nil {
+		t.Fatal("missing origin for a register source accepted")
+	}
+	// Vectors shorter than the warmup must be rejected.
+	if err := CompareAligned(a, b, origOf, vecs[:1], 4); err == nil {
+		t.Fatal("insufficient vectors accepted")
+	}
+}
+
+func TestSetPast(t *testing.T) {
+	c := netlist.NewCircuit("d2")
+	in := c.AddPI("in")
+	g := c.AddGate("buf", logic.Buf(), netlist.Fanin{From: in, Weight: 2})
+	c.AddPO("out", g, 0)
+	s, err := New(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Seed: in was true 2 cycles ago, false 1 cycle ago.
+	s.SetPast(in, []bool{false, true})
+	if out := s.Step([]bool{false}); !out[0] {
+		t.Fatal("seeded history not visible at w=2")
+	}
+	if out := s.Step([]bool{false}); out[0] {
+		t.Fatal("second cycle should read the w=1 seed (false)")
+	}
+}

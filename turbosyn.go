@@ -1,0 +1,284 @@
+// Package turbosyn reproduces "FPGA Synthesis with Retiming and Pipelining
+// for Clock Period Minimization of Sequential Circuits" (Cong & Wu, DAC
+// 1997): K-LUT technology mapping of sequential circuits that minimizes the
+// clock period under retiming (TurboMap), or the maximum delay-to-register
+// ratio under retiming plus pipelining with sequential functional
+// decomposition (TurboSYN), plus the FlowSYN-s baseline used in the paper's
+// evaluation.
+//
+// The typical flow:
+//
+//	c, _ := turbosyn.ReadBLIF(file)
+//	res, _ := turbosyn.Synthesize(c, turbosyn.Options{K: 5})
+//	fmt.Println(res.Phi, res.LUTs)      // achieved MDR ratio, LUT count
+//	turbosyn.WriteBLIF(out, res.Realized)
+//
+// Synthesize K-bounds the input if needed, runs the selected algorithm,
+// optionally packs LUTs for area, and realizes the target by retiming (and
+// pipelining, for the ratio objective).
+package turbosyn
+
+import (
+	"fmt"
+	"io"
+
+	"turbosyn/internal/core"
+	"turbosyn/internal/decomp"
+	"turbosyn/internal/mapper"
+	"turbosyn/internal/netlist"
+	"turbosyn/internal/retime"
+)
+
+// Circuit is a sequential circuit in retiming-graph form; see the builder
+// methods AddPI, AddGate, AddPO and the BLIF readers.
+type Circuit = netlist.Circuit
+
+// Fanin is one input connection of a node: driving node and register count.
+type Fanin = netlist.Fanin
+
+// NewCircuit returns an empty circuit.
+func NewCircuit(name string) *Circuit { return netlist.NewCircuit(name) }
+
+// ReadBLIF parses a BLIF netlist (.model/.inputs/.outputs/.names/.latch).
+func ReadBLIF(r io.Reader) (*Circuit, error) { return netlist.ReadBLIF(r) }
+
+// WriteBLIF writes a circuit in BLIF, expanding edge weights into latches.
+func WriteBLIF(w io.Writer, c *Circuit) error { return netlist.WriteBLIF(w, c) }
+
+// Algorithm selects the synthesis engine.
+type Algorithm int
+
+// Available algorithms, in increasing order of optimization power on
+// sequential circuits.
+const (
+	// TurboSYN (default): label computation with retiming and sequential
+	// functional decomposition; minimizes the MDR ratio (the paper's
+	// contribution).
+	TurboSYN Algorithm = iota
+	// TurboMap: structural label computation with retiming only.
+	TurboMap
+	// FlowSYNS: cut at registers, map islands with FlowSYN, merge (the
+	// baseline the paper compares against).
+	FlowSYNS
+)
+
+func (a Algorithm) String() string {
+	switch a {
+	case TurboSYN:
+		return "TurboSYN"
+	case TurboMap:
+		return "TurboMap"
+	case FlowSYNS:
+		return "FlowSYN-s"
+	}
+	return fmt.Sprintf("Algorithm(%d)", int(a))
+}
+
+// Objective selects what Phi means.
+type Objective int
+
+// Objectives.
+const (
+	// MinRatio minimizes the MDR ratio: the clock period achievable when
+	// both retiming and pipelining are allowed (the paper's Problem 1).
+	MinRatio Objective = iota
+	// MinPeriod minimizes the clock period under retiming alone
+	// (behaviour-preserving; no added latency).
+	MinPeriod
+)
+
+// Options configures Synthesize. The zero value requests the paper's
+// defaults: TurboSYN, K = 5, Cmax = 15, PLD on, MDR objective, packing and
+// realization enabled.
+type Options struct {
+	K         int
+	Algorithm Algorithm
+	Objective Objective
+	// NoPLD disables the fast positive-loop detection (the ablation of
+	// Section 4 runs with the conservative n^2 stopping rule instead).
+	NoPLD bool
+	// NoPack skips the area post-pass.
+	NoPack bool
+	// NoRelax skips the label-relaxation area optimization (TurboSYN).
+	NoRelax bool
+	// NoRealize skips the final retiming/pipelining step; Result.Realized
+	// is then nil and only the mapped network is returned.
+	NoRealize bool
+	// Advanced tuning; zero values mean the paper's settings.
+	Cmax     int
+	MaxH     int
+	LowDepth int
+}
+
+// Result is the outcome of Synthesize.
+type Result struct {
+	// Phi is the achieved objective value: minimum MDR ratio (MinRatio)
+	// or minimum clock period (MinPeriod).
+	Phi int
+	// LUTs counts the K-LUTs of the mapped network (after packing).
+	LUTs int
+	// Mapped is the LUT network before retiming: cycle-accurate equivalent
+	// to the input (given aligned initial states; see sim.CompareAligned).
+	Mapped *Circuit
+	// OrigOf maps Mapped's nodes to input-circuit nodes (stream identity),
+	// -1 where none; used for initial-state alignment.
+	OrigOf []int
+	// Realized is the retimed (and, under MinRatio, pipelined) network
+	// achieving clock period Phi; nil when NoRealize is set.
+	Realized *Circuit
+	// Latency lists per primary output the pipeline latency added during
+	// realization (all zeros for MinPeriod).
+	Latency []int
+	// Stats reports the label-computation work.
+	Stats core.Stats
+	// Algorithm echoes the engine used.
+	Algorithm Algorithm
+}
+
+func (o Options) fill() Options {
+	if o.K == 0 {
+		o.K = 5
+	}
+	return o
+}
+
+// Synthesize runs the full flow on c: K-bounding (if needed), mapping with
+// the selected algorithm and objective, LUT packing and realization by
+// retiming/pipelining.
+func Synthesize(c *Circuit, o Options) (*Result, error) {
+	o = o.fill()
+	if err := c.Check(); err != nil {
+		return nil, err
+	}
+	work := c
+	if !work.IsKBounded(o.K) {
+		var err error
+		work, err = decomp.KBound(work, o.K)
+		if err != nil {
+			return nil, err
+		}
+	}
+	var (
+		res *core.Result
+		err error
+	)
+	switch o.Algorithm {
+	case FlowSYNS:
+		if o.Objective == MinPeriod {
+			return nil, fmt.Errorf("turbosyn: FlowSYN-s supports only the MinRatio objective")
+		}
+		res, err = mapper.FlowSYNS(work, o.K)
+	default:
+		opts := core.Options{
+			K:         o.K,
+			Cmax:      o.Cmax,
+			MaxH:      o.MaxH,
+			LowDepth:  o.LowDepth,
+			Decompose: o.Algorithm == TurboSYN,
+			PLD:       !o.NoPLD,
+			Pipelined: o.Objective == MinRatio,
+			Relax:     !o.NoRelax,
+		}
+		res, err = core.Minimize(work, opts)
+	}
+	if err != nil {
+		return nil, err
+	}
+	// The mapping is relative to the K-bounded circuit; stream alignment
+	// must refer to the caller's circuit. KBound preserves node names for
+	// original gates, so remap through names when we rebounded.
+	origOf := res.OrigOf
+	if work != c {
+		origOf = remapOrigins(res.OrigOf, work, c)
+	}
+	out := &Result{
+		Phi:       res.Phi,
+		LUTs:      res.LUTs,
+		Mapped:    res.Mapped,
+		OrigOf:    origOf,
+		Stats:     res.Stats,
+		Algorithm: o.Algorithm,
+	}
+	if !o.NoPack {
+		packed, packedOrig, err := mapper.Pack(res.Mapped, o.K, origOf)
+		if err != nil {
+			return nil, err
+		}
+		out.Mapped, out.OrigOf, out.LUTs = packed, packedOrig, packed.NumGates()
+	}
+	if !o.NoRealize {
+		pipeline := o.Objective == MinRatio
+		r, ok := retime.RetimeForPeriod(out.Mapped, out.Phi, pipeline)
+		if !ok {
+			return nil, fmt.Errorf("turbosyn: internal error: phi=%d not realizable", out.Phi)
+		}
+		realized, err := retime.Apply(out.Mapped, r)
+		if err != nil {
+			return nil, err
+		}
+		out.Realized = realized
+		out.Latency = retime.Latency(out.Mapped, r)
+	} else {
+		out.Latency = make([]int, len(out.Mapped.POs))
+	}
+	return out, nil
+}
+
+// remapOrigins converts stream origins pointing into the K-bounded circuit
+// back to the caller's circuit via node names; K-bounding keeps original
+// gate names and adds fresh '$'-suffixed helpers (which have no original
+// counterpart and map to -1).
+func remapOrigins(origOf []int, bounded, orig *Circuit) []int {
+	out := make([]int, len(origOf))
+	for i, b := range origOf {
+		out[i] = -1
+		if b < 0 {
+			continue
+		}
+		name := bounded.Nodes[b].Name
+		if name == "" {
+			continue
+		}
+		if id := orig.IDByName(name); id >= 0 {
+			out[i] = id
+		}
+	}
+	return out
+}
+
+// Feasible answers the paper's decision problem directly: can circuit c be
+// mapped with clock period (MinPeriod) or MDR ratio (MinRatio) at most phi?
+// The returned statistics expose the label-computation work, which is how
+// the PLD speedup of Section 4 is measured.
+func Feasible(c *Circuit, phi int, o Options) (bool, core.Stats, error) {
+	o = o.fill()
+	work := c
+	if !work.IsKBounded(o.K) {
+		var err error
+		work, err = decomp.KBound(work, o.K)
+		if err != nil {
+			return false, core.Stats{}, err
+		}
+	}
+	return core.Feasible(work, phi, core.Options{
+		K:         o.K,
+		Cmax:      o.Cmax,
+		MaxH:      o.MaxH,
+		LowDepth:  o.LowDepth,
+		Decompose: o.Algorithm == TurboSYN,
+		PLD:       !o.NoPLD,
+		Pipelined: o.Objective == MinRatio,
+	})
+}
+
+// ClockPeriod returns the clock period of a circuit as-is (unit delay per
+// gate/LUT): the longest register-free path.
+func ClockPeriod(c *Circuit) int { return retime.Period(c) }
+
+// MDRRatio returns the exact maximum delay-to-register ratio of c as a
+// reduced fraction (0/1 when acyclic).
+func MDRRatio(c *Circuit) (num, den int64) { return retime.MaxCycleRatio(c) }
+
+// KBound returns a functionally equivalent circuit with gate fanins at most
+// k (structural tree decomposition of wide gates).
+func KBound(c *Circuit, k int) (*Circuit, error) { return decomp.KBound(c, k) }
