@@ -1,0 +1,30 @@
+# Build/test entry points. CI (.github/workflows/ci.yml) runs exactly these
+# targets, so a green `make build test race` locally predicts a green CI run.
+
+GO ?= go
+
+.PHONY: build test test-full race bench-smoke
+
+# Compile everything and vet it.
+build:
+	$(GO) build ./...
+	$(GO) vet ./...
+
+# Fast suite: skips the quick-tables smoke run and the heavier golden cases.
+test:
+	$(GO) test -short -timeout 10m ./...
+
+# Full tier-1 suite, including the experiments smoke test.
+test-full:
+	$(GO) test -timeout 20m ./...
+
+# Race detector over the fast suite (covers the parallel label engine, the
+# sharded decomposition cache and the speculative search).
+race:
+	$(GO) test -race -short -timeout 15m ./...
+
+# One iteration of the PLD and scaling benchmarks; sanity, not statistics.
+# The Scale benchmarks run j1/jN sub-benchmarks, so the output shows the
+# parallel engine's speedup on whatever machine ran them.
+bench-smoke:
+	$(GO) test -bench 'BenchmarkPLD|BenchmarkScale1k' -benchtime 1x -run '^$$' -timeout 20m . | tee bench-smoke.txt

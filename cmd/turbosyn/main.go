@@ -29,6 +29,7 @@ func main() {
 		noPack    = flag.Bool("nopack", false, "skip LUT packing")
 		raw       = flag.Bool("mapped", false, "emit the mapped network before retiming instead of the realized one")
 		noPLD     = flag.Bool("nopld", false, "disable positive loop detection (n^2 stopping rule)")
+		workers   = flag.Int("j", 0, "worker pool size (0 = all CPUs, 1 = sequential); results are identical for every setting")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -51,7 +52,7 @@ func main() {
 		fatal(err)
 	}
 
-	opts := turbosyn.Options{K: *k, NoPack: *noPack, NoPLD: *noPLD}
+	opts := turbosyn.Options{K: *k, NoPack: *noPack, NoPLD: *noPLD, Workers: *workers}
 	switch *alg {
 	case "turbosyn":
 		opts.Algorithm = turbosyn.TurboSYN

@@ -1,0 +1,68 @@
+package core
+
+import (
+	"hash/maphash"
+	"sync"
+
+	"turbosyn/internal/decomp"
+	"turbosyn/internal/stats"
+)
+
+// decompCache memoizes decomp.Decompose outcomes behind mutex-striped
+// shards, so label workers running in parallel reuse each other's Roth-Karp
+// results without serializing on one lock. A nil stored tree records a
+// failed decomposition (also worth remembering — the window scans are the
+// expensive part either way).
+//
+// Keys embed everything Decompose depends on — K, the depth budget, the
+// bound-set priority order and the cone function — so a cached value always
+// equals what a fresh call would compute. That purity is what lets the cache
+// be shared across workers, across feasibility probes and across the whole
+// binary search without making results depend on execution order.
+const decompCacheShards = 64
+
+type decompCache struct {
+	conc   *stats.Concurrency
+	seed   maphash.Seed
+	shards [decompCacheShards]struct {
+		mu sync.Mutex
+		m  map[string]*decomp.Tree
+	}
+}
+
+func newDecompCache(conc *stats.Concurrency) *decompCache {
+	dc := &decompCache{conc: conc, seed: maphash.MakeSeed()}
+	for i := range dc.shards {
+		dc.shards[i].m = make(map[string]*decomp.Tree)
+	}
+	return dc
+}
+
+func (dc *decompCache) shardFor(key string) int {
+	return int(maphash.String(dc.seed, key) % decompCacheShards)
+}
+
+// lookup returns the cached tree (nil = cached failure) and whether the key
+// was present.
+func (dc *decompCache) lookup(key string) (*decomp.Tree, bool) {
+	sh := &dc.shards[dc.shardFor(key)]
+	sh.mu.Lock()
+	tree, ok := sh.m[key]
+	sh.mu.Unlock()
+	if ok {
+		dc.conc.AddCacheHit()
+	} else {
+		dc.conc.AddCacheMiss()
+	}
+	return tree, ok
+}
+
+// store records a Decompose outcome (nil for failure). Concurrent stores for
+// the same key are benign: Decompose is a pure function of the key, so both
+// writers carry structurally identical values.
+func (dc *decompCache) store(key string, tree *decomp.Tree) {
+	sh := &dc.shards[dc.shardFor(key)]
+	sh.mu.Lock()
+	sh.m[key] = tree
+	sh.mu.Unlock()
+}

@@ -24,8 +24,10 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 
 	"turbosyn/internal/netlist"
+	"turbosyn/internal/stats"
 )
 
 // Options configures the label computation and mapping generation.
@@ -63,6 +65,15 @@ type Options struct {
 	// convergence, resynthesized covers whose labels can rise without
 	// breaking feasibility revert to single structural LUTs.
 	Relax bool
+	// Workers bounds the worker pool of the parallel label engine and the
+	// speculative probe fan-out of the binary search: 0 means
+	// runtime.NumCPU(), 1 forces the strictly sequential path. Every
+	// setting computes bit-identical labels, covers and verdicts (see
+	// DESIGN.md, "Level-scheduled concurrency"); only the Stats work
+	// counters of infeasible probes may vary with scheduling. A positive
+	// IterBudget implies sequential execution regardless of Workers, so
+	// budget accounting stays globally ordered.
+	Workers int
 }
 
 func (o Options) withDefaults() Options {
@@ -84,6 +95,17 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
+// workerCount resolves Workers to an effective pool size.
+func (o Options) workerCount() int {
+	switch {
+	case o.Workers > 0:
+		return o.Workers
+	case o.Workers < 0:
+		return 1
+	}
+	return runtime.NumCPU()
+}
+
 // DefaultOptions returns the TurboSYN defaults used by the paper's
 // experiments (K=5, Cmax=15, PLD on, pipelined MDR objective).
 func DefaultOptions() Options {
@@ -98,6 +120,15 @@ type Stats struct {
 	DecompAttempts int // attempted sequential decompositions
 	PLDChecks      int // predecessor-graph reachability checks
 	PLDHits        int // infeasibility detected by PLD
+
+	// Concurrency counters (see Options.Workers and internal/stats).
+	Workers          int // effective worker-pool size (1 = sequential)
+	LevelWaves       int // parallel level barriers executed
+	ParallelTasks    int // SCC tasks executed by pool workers
+	CacheShardHits   int // sharded decomposition-cache hits
+	CacheShardMisses int // sharded decomposition-cache misses
+	ProbesLaunched   int // feasibility probes started by the search
+	ProbesCancelled  int // speculative probes cancelled (lost branch)
 }
 
 // Add accumulates s2 into s.
@@ -108,6 +139,29 @@ func (s *Stats) Add(s2 Stats) {
 	s.DecompAttempts += s2.DecompAttempts
 	s.PLDChecks += s2.PLDChecks
 	s.PLDHits += s2.PLDHits
+	if s2.Workers > s.Workers {
+		s.Workers = s2.Workers
+	}
+	s.LevelWaves += s2.LevelWaves
+	s.ParallelTasks += s2.ParallelTasks
+	s.CacheShardHits += s2.CacheShardHits
+	s.CacheShardMisses += s2.CacheShardMisses
+	s.ProbesLaunched += s2.ProbesLaunched
+	s.ProbesCancelled += s2.ProbesCancelled
+}
+
+// fold merges a scheduler-counter snapshot into s. Called once per public
+// API entry point, over counters shared by every probe of that call.
+func (s *Stats) fold(cs stats.ConcurrencySnapshot) {
+	if cs.Workers > s.Workers {
+		s.Workers = cs.Workers
+	}
+	s.LevelWaves += cs.LevelWaves
+	s.ParallelTasks += cs.Tasks
+	s.CacheShardHits += cs.CacheHits
+	s.CacheShardMisses += cs.CacheMisses
+	s.ProbesLaunched += cs.ProbesLaunched
+	s.ProbesCancelled += cs.ProbesCancelled
 }
 
 // Replica is a node of an expanded circuit recorded in a cover: circuit

@@ -3,6 +3,8 @@ package core
 import (
 	"fmt"
 	"sort"
+	"strings"
+	"sync/atomic"
 
 	"turbosyn/internal/cut"
 	"turbosyn/internal/decomp"
@@ -10,6 +12,7 @@ import (
 	"turbosyn/internal/graph"
 	"turbosyn/internal/logic"
 	"turbosyn/internal/netlist"
+	"turbosyn/internal/stats"
 )
 
 // coverRec is the realization recorded for a gate on the final (consistent)
@@ -28,6 +31,12 @@ type state struct {
 	labels []int
 	order  []int // combinational topological order (good sweep order)
 	sccs   *graph.SCCs
+	// levels is the longest-path layering of the condensation: components
+	// sharing a level are independent, which is what the parallel scheduler
+	// exploits and what keeps sccIsolated race-free (see below).
+	levels []int
+	// memberOrder lists each component's members in comb topo order.
+	memberOrder [][]int
 
 	// Decision cache: a gate is re-decided only when its L changed since
 	// the last decision. Decisions also depend on deeper labels, so a
@@ -41,12 +50,23 @@ type state struct {
 	// final labels and covers never depend on the backoff.
 	bumps      []int
 	nextDecomp []int
-	// decompCache memoizes Decompose outcomes by cone function, K and
-	// depth budget (the bound-set priority is only a search heuristic, so
-	// any cached tree is valid for every priority). Cone functions recur
-	// heavily across label iterations; this cache removes the repeated
-	// Roth-Karp window scans.
-	decompCache map[string]*decomp.Tree
+	// cache memoizes Decompose outcomes by cone function, K, depth budget
+	// and bound-set priority. Cone functions recur heavily across label
+	// iterations; this cache removes the repeated Roth-Karp window scans.
+	// It is safe to share across workers and probes (see cache.go).
+	cache *decompCache
+	conc  *stats.Concurrency
+
+	// workers bounds the per-level worker pool; 1 selects the strictly
+	// sequential sweep. Both paths compute bit-identical labels and covers.
+	workers int
+	// cancel, when non-nil, aborts the probe early (speculative search
+	// probes that lost their branch). A cancelled run reports infeasible;
+	// the caller must discard its result.
+	cancel *atomic.Bool
+	// failed flags an infeasible component so sibling workers stop pumping
+	// labels that no longer matter. Reset at the top of every run.
+	failed atomic.Bool
 
 	recs  []coverRec
 	stats Stats
@@ -56,18 +76,26 @@ const labelInf = int(1) << 28
 
 func newState(c *netlist.Circuit, phi int, opts Options) *state {
 	s := &state{
-		c:           c,
-		opts:        opts,
-		phi:         phi,
-		labels:      make([]int, c.NumNodes()),
-		order:       c.CombTopoOrder(),
-		sccs:        graph.StronglyConnected(c.Adj()),
-		lastL:       make([]int, c.NumNodes()),
-		decided:     make([]bool, c.NumNodes()),
-		bumps:       make([]int, c.NumNodes()),
-		nextDecomp:  make([]int, c.NumNodes()),
-		decompCache: make(map[string]*decomp.Tree),
-		recs:        make([]coverRec, c.NumNodes()),
+		c:          c,
+		opts:       opts,
+		phi:        phi,
+		labels:     make([]int, c.NumNodes()),
+		order:      c.CombTopoOrder(),
+		sccs:       graph.StronglyConnected(c.Adj()),
+		lastL:      make([]int, c.NumNodes()),
+		decided:    make([]bool, c.NumNodes()),
+		bumps:      make([]int, c.NumNodes()),
+		nextDecomp: make([]int, c.NumNodes()),
+		conc:       &stats.Concurrency{},
+		workers:    opts.workerCount(),
+		recs:       make([]coverRec, c.NumNodes()),
+	}
+	s.cache = newDecompCache(s.conc)
+	s.levels = s.sccs.Levels()
+	s.memberOrder = make([][]int, s.sccs.NumComps())
+	for _, id := range s.order { // comb topo order within each component
+		comp := s.sccs.Comp[id]
+		s.memberOrder[comp] = append(s.memberOrder[comp], id)
 	}
 	for i := range s.lastL {
 		s.lastL[i] = -labelInf
@@ -85,6 +113,21 @@ func newState(c *netlist.Circuit, phi int, opts Options) *state {
 	return s
 }
 
+// attach shares a search-wide decomposition cache, concurrency counters and
+// cancellation flag with this probe (see Minimize: one cache and one counter
+// set span every probe of the binary search).
+func (s *state) attach(cache *decompCache, conc *stats.Concurrency, cancel *atomic.Bool) {
+	s.cache = cache
+	s.conc = conc
+	s.cancel = cancel
+}
+
+// stopped reports whether the probe should abandon work: a sibling
+// component proved phi infeasible, or the search cancelled this probe.
+func (s *state) stopped() bool {
+	return s.failed.Load() || (s.cancel != nil && s.cancel.Load())
+}
+
 // computeL returns L(v) = max over fanin edges of l(u) - phi*w(e).
 func (s *state) computeL(v int) int {
 	L := -labelInf
@@ -99,109 +142,30 @@ func (s *state) computeL(v int) int {
 // run performs the label computation. It returns true when phi is feasible
 // (labels converged, and for non-pipelined objectives every PO meets phi).
 // On success the labels are converged and recs is consistent with them.
+//
+// With workers > 1 the per-component work is scheduled level-by-level over
+// the condensation (see parallel.go); with workers == 1, or whenever an
+// iteration budget demands globally ordered accounting, components run
+// strictly sequentially in topological order. Both paths produce identical
+// labels, covers and verdicts: a component's computation reads only its own
+// members and upstream components, and upstream components are final before
+// the component starts in either schedule.
 func (s *state) run() bool {
-	// Sound runaway certificate: in any feasible mapping the needed LUTs
-	// number at most the gate count, simple LUT-level paths bound arrivals
-	// by that count, and loops contribute nothing positive — so a label
-	// beyond NumNodes()+2 certifies a positive loop. This check and the
-	// 6n-iteration PLD below together form the fast detection suite that
-	// Options.PLD toggles; without it only the conservative per-SCC n^2
-	// stopping rule of SeqMapII remains (the paper's 10-50x comparison).
-	maxLabel := s.c.NumNodes() + 2
-	// Process SCCs in topological order; labels upstream are final before
-	// a component starts iterating.
-	memberOrder := make([][]int, s.sccs.NumComps())
-	for _, id := range s.order { // comb topo order within each component
-		comp := s.sccs.Comp[id]
-		memberOrder[comp] = append(memberOrder[comp], id)
+	s.failed.Store(false)
+	if s.workers > 1 && s.opts.IterBudget <= 0 {
+		return s.runParallel()
 	}
+	s.conc.SetWorkers(1)
 	for _, comp := range s.sccs.Order {
-		members := memberOrder[comp]
-		updatable := members[:0:0]
-		for _, id := range members {
-			n := s.c.Nodes[id]
-			if n.Kind != netlist.PI && len(n.Fanins) > 0 {
-				updatable = append(updatable, id)
-			}
-		}
-		if len(updatable) == 0 {
-			continue
-		}
-		n := len(members)
-		// Per-SCC runaway bound: labels inside the component are supported
-		// by at most base (the best external support) plus one unit per
-		// member along a simple path. Tighter than the global bound, so
-		// diverging components stop pumping sooner.
-		base := 0
-		inComp := make(map[int]bool, n)
-		for _, id := range members {
-			inComp[id] = true
-		}
-		for _, id := range members {
-			for _, f := range s.c.Nodes[id].Fanins {
-				if !inComp[f.From] {
-					if v := s.labels[f.From] - s.phi*f.Weight; v > base {
-						base = v
-					}
-				}
-			}
-		}
-		sccCap := base + n + 2
-		if sccCap > maxLabel {
-			sccCap = maxLabel
-		}
-		pldFrom := 6*n + 6 // Theorem 2: isolation is meaningful from 6n on
-		capIter := n*n + 4
-		if s.opts.PLD && capIter < pldFrom+4 {
-			capIter = pldFrom + 4
-		}
-		converged := false
-		for iter := 0; iter < capIter; iter++ {
-			if s.opts.IterBudget > 0 && s.stats.Iterations >= s.opts.IterBudget {
-				return false
-			}
-			s.stats.Iterations++
-			changed := false
-			for _, id := range updatable {
-				if s.update(id, false) {
-					changed = true
-				}
-			}
-			if !changed {
-				// Recording pass: re-decide everything at the converged
-				// labels and keep the covers. A change here means the
-				// Gauss-Seidel sweep raced itself; keep iterating.
-				s.stats.Iterations++
-				for _, id := range updatable {
-					if s.update(id, true) {
-						changed = true
-					}
-				}
-				if !changed {
-					converged = true
-					break
-				}
-			}
-			if s.opts.PLD {
-				for _, id := range updatable {
-					if s.labels[id] > sccCap {
-						s.stats.PLDHits++
-						return false // runaway labels certify a positive loop
-					}
-				}
-				if iter+1 >= pldFrom {
-					s.stats.PLDChecks++
-					if s.sccIsolated(comp) {
-						s.stats.PLDHits++
-						return false
-					}
-				}
-			}
-		}
-		if !converged {
-			return false // conservative stopping rule hit
+		if s.runComp(comp, &s.stats) != compConverged {
+			return false
 		}
 	}
+	return s.checkOutputs()
+}
+
+// checkOutputs enforces the clock-period side condition after convergence.
+func (s *state) checkOutputs() bool {
 	if !s.opts.Pipelined {
 		for _, po := range s.c.POs {
 			if s.labels[po] > s.phi {
@@ -212,9 +176,124 @@ func (s *state) run() bool {
 	return true
 }
 
+// compOutcome is the verdict of one component's label iteration.
+type compOutcome int
+
+const (
+	// compConverged: labels of the component reached their fixpoint and
+	// the recorded covers are consistent with them.
+	compConverged compOutcome = iota
+	// compInfeasible: the component certifies phi infeasible (positive
+	// loop detected, or the conservative stopping rule ran out).
+	compInfeasible
+	// compCancelled: the probe was abandoned (lost speculation branch or a
+	// sibling component already failed); the verdict carries no information.
+	compCancelled
+)
+
+// runComp iterates component comp to convergence. st receives the work
+// counters; in the sequential schedule it is the state's own stats, in the
+// parallel schedule a per-task accumulator merged after the level barrier.
+// Writes touch only the component's members, so concurrent invocations on
+// same-level components are disjoint.
+func (s *state) runComp(comp int, st *Stats) compOutcome {
+	// Sound runaway certificate: in any feasible mapping the needed LUTs
+	// number at most the gate count, simple LUT-level paths bound arrivals
+	// by that count, and loops contribute nothing positive — so a label
+	// beyond NumNodes()+2 certifies a positive loop. This check and the
+	// 6n-iteration PLD below together form the fast detection suite that
+	// Options.PLD toggles; without it only the conservative per-SCC n^2
+	// stopping rule of SeqMapII remains (the paper's 10-50x comparison).
+	maxLabel := s.c.NumNodes() + 2
+	members := s.memberOrder[comp]
+	updatable := members[:0:0]
+	for _, id := range members {
+		n := s.c.Nodes[id]
+		if n.Kind != netlist.PI && len(n.Fanins) > 0 {
+			updatable = append(updatable, id)
+		}
+	}
+	if len(updatable) == 0 {
+		return compConverged
+	}
+	n := len(members)
+	// Per-SCC runaway bound: labels inside the component are supported
+	// by at most base (the best external support) plus one unit per
+	// member along a simple path. Tighter than the global bound, so
+	// diverging components stop pumping sooner.
+	base := 0
+	inComp := make(map[int]bool, n)
+	for _, id := range members {
+		inComp[id] = true
+	}
+	for _, id := range members {
+		for _, f := range s.c.Nodes[id].Fanins {
+			if !inComp[f.From] {
+				if v := s.labels[f.From] - s.phi*f.Weight; v > base {
+					base = v
+				}
+			}
+		}
+	}
+	sccCap := base + n + 2
+	if sccCap > maxLabel {
+		sccCap = maxLabel
+	}
+	pldFrom := 6*n + 6 // Theorem 2: isolation is meaningful from 6n on
+	capIter := n*n + 4
+	if s.opts.PLD && capIter < pldFrom+4 {
+		capIter = pldFrom + 4
+	}
+	for iter := 0; iter < capIter; iter++ {
+		if s.stopped() {
+			return compCancelled
+		}
+		if s.opts.IterBudget > 0 && st.Iterations >= s.opts.IterBudget {
+			return compInfeasible
+		}
+		st.Iterations++
+		changed := false
+		for _, id := range updatable {
+			if s.update(id, false, st) {
+				changed = true
+			}
+		}
+		if !changed {
+			// Recording pass: re-decide everything at the converged
+			// labels and keep the covers. A change here means the
+			// Gauss-Seidel sweep raced itself; keep iterating.
+			st.Iterations++
+			for _, id := range updatable {
+				if s.update(id, true, st) {
+					changed = true
+				}
+			}
+			if !changed {
+				return compConverged
+			}
+		}
+		if s.opts.PLD {
+			for _, id := range updatable {
+				if s.labels[id] > sccCap {
+					st.PLDHits++
+					return compInfeasible // runaway labels certify a positive loop
+				}
+			}
+			if iter+1 >= pldFrom {
+				st.PLDChecks++
+				if s.sccIsolated(comp) {
+					st.PLDHits++
+					return compInfeasible
+				}
+			}
+		}
+	}
+	return compInfeasible // conservative stopping rule hit
+}
+
 // update re-decides node id's label. record requests cover recording (used
 // on the final fresh pass). It reports whether the label changed.
-func (s *state) update(id int, record bool) bool {
+func (s *state) update(id int, record bool, st *Stats) bool {
 	n := s.c.Nodes[id]
 	L := s.computeL(id)
 	if n.Kind == netlist.PO {
@@ -233,7 +312,7 @@ func (s *state) update(id int, record bool) bool {
 	}
 	s.decided[id] = true
 	s.lastL[id] = L
-	newLabel, rec := s.decide(id, L, record)
+	newLabel, rec := s.decide(id, L, record, st)
 	if record {
 		s.recs[id] = rec
 	}
@@ -247,10 +326,10 @@ func (s *state) update(id int, record bool) bool {
 
 // decide computes the label for gate id given L, optionally producing the
 // cover record.
-func (s *state) decide(id, L int, record bool) (int, coverRec) {
+func (s *state) decide(id, L int, record bool, st *Stats) (int, coverRec) {
 	xopts := expand.Options{LowDepth: s.opts.LowDepth, MaxNodes: s.opts.MaxExpand}
 	// Structural K-cut of height <= L?
-	s.stats.CutChecks++
+	st.CutChecks++
 	if x, built := expand.Build(s.c, id, s.labels, s.phi, L, xopts); built {
 		if res, ok := cut.KCut(x, s.opts.K); ok {
 			var rec coverRec
@@ -264,7 +343,7 @@ func (s *state) decide(id, L int, record bool) (int, coverRec) {
 	// label-pumping nodes (see the field comment); recording passes always
 	// attempt.
 	if s.opts.Decompose && (record || s.bumps[id] < 8 || L >= s.nextDecomp[id]) {
-		if tree, cutReps, ok := s.tryDecompose(id, L, xopts); ok {
+		if tree, cutReps, ok := s.tryDecompose(id, L, xopts, st); ok {
 			s.nextDecomp[id] = 0
 			return L, coverRec{cut: cutReps, tree: tree}
 		}
@@ -293,7 +372,7 @@ func (s *state) decide(id, L int, record bool) (int, coverRec) {
 // tryDecompose searches cuts of heights L-1, L-2, ... (width <= Cmax) whose
 // cone function decomposes into a tree of K-LUTs of depth h+1, realizing
 // label L (the paper's sequential functional decomposition).
-func (s *state) tryDecompose(id, L int, xopts expand.Options) (*decomp.Tree, []Replica, bool) {
+func (s *state) tryDecompose(id, L int, xopts expand.Options, st *Stats) (*decomp.Tree, []Replica, bool) {
 	if s.opts.Cmax > logic.MaxVars {
 		panic("core: Cmax exceeds logic.MaxVars")
 	}
@@ -306,7 +385,7 @@ func (s *state) tryDecompose(id, L int, xopts expand.Options) (*decomp.Tree, []R
 		if !ok {
 			return nil, nil, false // even Cmax-wide cuts are gone; deeper is worse
 		}
-		s.stats.DecompAttempts++
+		st.DecompAttempts++
 		fn, reps := s.coneFunction(x, res)
 		// Bound-set priority: earliest effective arrival first, so early
 		// signals sink toward the leaves (the paper's FlowSYN ordering).
@@ -316,23 +395,40 @@ func (s *state) tryDecompose(id, L int, xopts expand.Options) (*decomp.Tree, []R
 		}
 		eff := func(r Replica) int { return s.labels[r.Orig] - s.phi*r.W }
 		sort.SliceStable(prio, func(a, b int) bool { return eff(reps[prio[a]]) < eff(reps[prio[b]]) })
-		key := fmt.Sprintf("%d|%d|%s", s.opts.K, h+1, fn.String())
-		tree, cached := s.decompCache[key]
+		key := decompKey(s.opts.K, h+1, prio, fn)
+		tree, cached := s.cache.lookup(key)
 		if !cached {
 			var ok bool
 			tree, ok = decomp.Decompose(fn, s.opts.K, h+1, prio)
 			if !ok {
 				tree = nil
 			}
-			s.decompCache[key] = tree
+			s.cache.store(key, tree)
 		}
 		if tree == nil {
 			continue
 		}
-		s.stats.Decompositions++
+		st.Decompositions++
 		return tree, reps, true
 	}
 	return nil, nil, false
+}
+
+// decompKey identifies one Decompose call. The priority order is part of
+// the key: Decompose's window scan is capped, so both the found tree and
+// whether one is found at all depend on it. Keying on the full input makes
+// the cached value equal to a fresh computation, which in turn makes cache
+// sharing across workers and probes order-independent.
+func decompKey(k, depthBudget int, prio []int, fn *logic.TT) string {
+	var b strings.Builder
+	b.Grow(len(prio) + 24)
+	fmt.Fprintf(&b, "%d|%d|", k, depthBudget)
+	for _, p := range prio {
+		b.WriteByte(byte(p))
+	}
+	b.WriteByte('|')
+	b.WriteString(fn.String())
+	return b.String()
 }
 
 // structuralRec converts a structural cut into a cover record: a
@@ -402,12 +498,25 @@ func projectConst(f *logic.TT, m int) *logic.TT {
 // nodes with label <= 1; a support edge e(u,v) is present when
 // l(u) - phi*w(e) + 1 >= l(v). Total isolation certifies a positive loop
 // (the paper's PLD, Theorem 2).
+//
+// The walk is restricted to the component itself and strictly lower
+// condensation levels. Support can only reach a member through the
+// member's ancestors, and every ancestor component sits at a strictly lower
+// level, so the restriction never changes the verdict — what it buys is
+// that the walk reads only labels that are final (lower levels) or owned by
+// this component, keeping the check race-free and schedule-independent
+// under the parallel scheduler.
 func (s *state) sccIsolated(comp int) bool {
 	n := s.c.NumNodes()
+	myLevel := s.levels[comp]
+	allowed := func(id int) bool {
+		c := s.sccs.Comp[id]
+		return c == comp || s.levels[c] < myLevel
+	}
 	reach := make([]bool, n)
 	queue := make([]int, 0, n)
 	for id := 0; id < n; id++ {
-		if s.labels[id] <= 1 {
+		if allowed(id) && s.labels[id] <= 1 {
 			reach[id] = true
 			queue = append(queue, id)
 		}
@@ -416,7 +525,7 @@ func (s *state) sccIsolated(comp int) bool {
 		u := queue[len(queue)-1]
 		queue = queue[:len(queue)-1]
 		for _, fo := range s.c.Fanouts(u) {
-			if reach[fo.To] {
+			if reach[fo.To] || !allowed(fo.To) {
 				continue
 			}
 			if s.labels[u]-s.phi*fo.Weight+1 >= s.labels[fo.To] {

@@ -1,0 +1,90 @@
+package core
+
+import (
+	"sync"
+
+	"turbosyn/internal/netlist"
+)
+
+// runParallel is the level-scheduled variant of run: components of the SCC
+// condensation are processed level-by-level (graph.SCCs.Levels), and within
+// a level a bounded worker pool iterates whole components concurrently. A
+// barrier separates levels, so when a component starts every label it can
+// read outside itself is final — exactly the invariant the sequential
+// topological sweep provides. Per-component state (labels, decision caches,
+// cover records) is written only by the worker owning the component, work
+// counters accumulate per task and merge after the barrier, and the shared
+// decomposition cache is keyed on full Decompose inputs — which together
+// make the parallel path bit-identical to the sequential one (the golden
+// equivalence test enforces this).
+func (s *state) runParallel() bool {
+	s.conc.SetWorkers(s.workers)
+	for _, group := range s.sccs.LevelGroups() {
+		// Skip components with nothing to iterate without paying pool
+		// dispatch; runComp would return immediately anyway.
+		tasks := group[:0:0]
+		for _, comp := range group {
+			for _, id := range s.memberOrder[comp] {
+				n := s.c.Nodes[id]
+				if n.Kind != netlist.PI && len(n.Fanins) > 0 {
+					tasks = append(tasks, comp)
+					break
+				}
+			}
+		}
+		if len(tasks) == 0 {
+			continue
+		}
+		if len(tasks) == 1 || s.workers == 1 {
+			if s.runComp(tasks[0], &s.stats) != compConverged {
+				return false
+			}
+			continue
+		}
+		s.conc.AddLevelWave()
+		workers := s.workers
+		if workers > len(tasks) {
+			workers = len(tasks)
+		}
+		taskStats := make([]Stats, len(tasks))
+		outcomes := make([]compOutcome, len(tasks))
+		next := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range next {
+					s.conc.AddTask()
+					out := s.runComp(tasks[i], &taskStats[i])
+					outcomes[i] = out
+					if out == compInfeasible {
+						// Flag siblings so they stop pumping labels that
+						// no longer matter; the verdict is already false.
+						s.failed.Store(true)
+					}
+				}
+			}()
+		}
+		for i := range tasks {
+			next <- i
+		}
+		close(next)
+		wg.Wait()
+		// Merge work counters in task order. Integer sums are
+		// order-insensitive, so feasible runs report schedule-independent
+		// totals; on infeasible runs the amount of sibling work done
+		// before everyone noticed the failure does depend on timing.
+		failed := false
+		for i := range tasks {
+			s.stats.Add(taskStats[i])
+			if outcomes[i] != compConverged {
+				failed = true
+			}
+		}
+		if failed {
+			return false
+		}
+	}
+	return s.checkOutputs()
+}

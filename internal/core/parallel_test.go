@@ -1,0 +1,220 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"turbosyn/internal/bench"
+	"turbosyn/internal/decomp"
+	"turbosyn/internal/logic"
+	"turbosyn/internal/netlist"
+	"turbosyn/internal/stats"
+)
+
+// goldenCase is one circuit/configuration of the equivalence matrix. The
+// generators are deterministic in their seed, so the sequential run defines
+// a golden result the parallel runs must reproduce bit-for-bit.
+type goldenCase struct {
+	name      string
+	k         int
+	decompose bool
+	build     func() *netlist.Circuit
+}
+
+func fsmCircuit(seed int64, bits, cubes int) func() *netlist.Circuit {
+	return func() *netlist.Circuit {
+		rng := rand.New(rand.NewSource(seed))
+		return bench.FSM(rng, fmt.Sprintf("fsm_s%d", seed), bench.FSMSpec{
+			StateBits: bits, Inputs: 4, Outputs: 3, Cubes: cubes, Span: 5,
+		})
+	}
+}
+
+func goldenCases() []goldenCase {
+	return []goldenCase{
+		{"fsm_s1_k4_syn", 4, true, fsmCircuit(1, 6, 4)},
+		{"fsm_s2_k5_syn", 5, true, fsmCircuit(2, 7, 4)},
+		{"fsm_s3_k6_syn", 6, true, fsmCircuit(3, 6, 5)},
+		{"fsm_s2_k5_map", 5, false, fsmCircuit(2, 7, 4)},
+		{"acc12_k5_syn", 5, true, func() *netlist.Circuit {
+			return bench.Accumulator("acc12", 12, []int{3, 7})
+		}},
+		{"lfsr16_k4_syn", 4, true, func() *netlist.Circuit {
+			return bench.LFSR("lfsr16", 16, []int{2, 9, 13})
+		}},
+	}
+}
+
+func blifBytes(t *testing.T, c *netlist.Circuit) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := netlist.WriteBLIF(&buf, c); err != nil {
+		t.Fatalf("WriteBLIF: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// TestParallelMatchesSequentialGolden is the determinism contract of
+// Options.Workers: for every circuit, K and algorithm, the parallel engine
+// (level-scheduled label sweeps, shared sharded cache, speculative search)
+// must return the exact result of the sequential engine — same phi, same
+// converged labels, same LUT count, and a byte-identical mapped netlist.
+func TestParallelMatchesSequentialGolden(t *testing.T) {
+	for _, tc := range goldenCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			c := tc.build()
+			if err := c.Check(); err != nil {
+				t.Fatal(err)
+			}
+			opts := DefaultOptions()
+			opts.K = tc.k
+			opts.Decompose = tc.decompose
+			if !c.IsKBounded(tc.k) {
+				var err error
+				if c, err = decomp.KBound(c, tc.k); err != nil {
+					t.Fatal(err)
+				}
+			}
+
+			opts.Workers = 1
+			want, err := Minimize(c, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantBLIF := blifBytes(t, want.Mapped)
+
+			pools := []int{2, 4}
+			if testing.Short() {
+				pools = pools[1:]
+			}
+			for _, workers := range pools {
+				opts.Workers = workers
+				got, err := Minimize(c, opts)
+				if err != nil {
+					t.Fatalf("workers=%d: %v", workers, err)
+				}
+				if got.Phi != want.Phi {
+					t.Errorf("workers=%d: phi %d, sequential %d", workers, got.Phi, want.Phi)
+				}
+				if got.LUTs != want.LUTs {
+					t.Errorf("workers=%d: LUTs %d, sequential %d", workers, got.LUTs, want.LUTs)
+				}
+				if len(got.Labels) != len(want.Labels) {
+					t.Fatalf("workers=%d: %d labels, sequential %d",
+						workers, len(got.Labels), len(want.Labels))
+				}
+				for id := range want.Labels {
+					if got.Labels[id] != want.Labels[id] {
+						t.Fatalf("workers=%d: label[%d] = %d, sequential %d",
+							workers, id, got.Labels[id], want.Labels[id])
+					}
+				}
+				if !bytes.Equal(blifBytes(t, got.Mapped), wantBLIF) {
+					t.Errorf("workers=%d: mapped netlist differs from sequential", workers)
+				}
+			}
+		})
+	}
+}
+
+// TestFeasibleParallelMatchesSequential covers the single-probe entry point
+// across feasible and infeasible targets.
+func TestFeasibleParallelMatchesSequential(t *testing.T) {
+	c := fsmCircuit(4, 8, 4)()
+	opts := DefaultOptions()
+	if !c.IsKBounded(opts.K) {
+		var err error
+		if c, err = decomp.KBound(c, opts.K); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for phi := 1; phi <= 4; phi++ {
+		opts.Workers = 1
+		want, _, err := Feasible(c, phi, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opts.Workers = 4
+		got, _, err := Feasible(c, phi, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Errorf("phi=%d: parallel verdict %v, sequential %v", phi, got, want)
+		}
+	}
+}
+
+// TestDecompCacheConcurrentStress hammers the sharded decomposition cache
+// from many goroutines with overlapping keys (run under -race via the CI
+// race job). Keys mix distinct functions, depth budgets and priority orders;
+// values mix real decomposition trees and cached failures (nil). After the
+// storm every key must be present, and the counters must account for every
+// lookup exactly once.
+func TestDecompCacheConcurrentStress(t *testing.T) {
+	conc := &stats.Concurrency{}
+	cache := newDecompCache(conc)
+
+	type entry struct {
+		key  string
+		tree *decomp.Tree
+	}
+	var entries []entry
+	prios := [][]int{{0, 1, 2, 3, 4, 5}, {5, 4, 3, 2, 1, 0}, {2, 0, 3, 1, 5, 4}}
+	for nvar := 4; nvar <= 6; nvar++ {
+		for fi, fn := range []*logic.TT{logic.AndAll(nvar), logic.XorAll(nvar), logic.OrAll(nvar)} {
+			for depth := 1; depth <= 3; depth++ {
+				for pi, prio := range prios {
+					p := prio[:nvar]
+					var tree *decomp.Tree
+					if (fi+depth+pi)%2 == 0 {
+						tree, _ = decomp.Decompose(fn, 3, depth+1, p)
+					}
+					entries = append(entries, entry{decompKey(3, depth, p, fn), tree})
+				}
+			}
+		}
+	}
+
+	const (
+		goroutines = 16
+		rounds     = 200
+	)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				e := entries[(g*rounds+r)%len(entries)]
+				if tree, ok := cache.lookup(e.key); ok {
+					if tree != nil && len(tree.Nodes) == 0 {
+						t.Errorf("key %q: corrupt cached tree", e.key)
+						return
+					}
+				} else {
+					cache.store(e.key, e.tree)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	for _, e := range entries {
+		if _, ok := cache.lookup(e.key); !ok {
+			t.Errorf("key %q missing after stress", e.key)
+		}
+	}
+	snap := conc.Snapshot()
+	lookups := goroutines*rounds + len(entries)
+	if snap.CacheHits+snap.CacheMisses != lookups {
+		t.Errorf("hits %d + misses %d != lookups %d",
+			snap.CacheHits, snap.CacheMisses, lookups)
+	}
+	if snap.CacheMisses < len(entries) {
+		t.Errorf("misses %d cannot be below distinct keys %d", snap.CacheMisses, len(entries))
+	}
+}

@@ -2,9 +2,11 @@ package core
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"turbosyn/internal/netlist"
 	"turbosyn/internal/retime"
+	"turbosyn/internal/stats"
 )
 
 // Feasible decides Problem 2: does a mapping with clock period (or, when
@@ -19,8 +21,11 @@ func Feasible(c *netlist.Circuit, phi int, opts Options) (bool, Stats, error) {
 		return false, Stats{}, nil
 	}
 	s := newState(c, phi, opts)
+	s.conc.AddProbeLaunched()
 	ok := s.run()
-	return ok, s.stats, nil
+	st := s.stats
+	st.fold(s.conc.Snapshot())
+	return ok, st, nil
 }
 
 // MapAtRatio computes labels and a mapped LUT network for a specific
@@ -30,7 +35,21 @@ func MapAtRatio(c *netlist.Circuit, phi int, opts Options) (*Result, error) {
 	if err := validateInput(c, opts); err != nil {
 		return nil, err
 	}
+	conc := &stats.Concurrency{}
+	res, err := mapAtRatio(c, phi, opts, newDecompCache(conc), conc)
+	if err != nil {
+		return nil, err
+	}
+	res.Stats.fold(conc.Snapshot())
+	return res, nil
+}
+
+// mapAtRatio is MapAtRatio over a search-wide cache and counter set; the
+// caller folds the counters into the final Stats exactly once.
+func mapAtRatio(c *netlist.Circuit, phi int, opts Options, cache *decompCache, conc *stats.Concurrency) (*Result, error) {
 	s := newState(c, phi, opts)
+	s.attach(cache, conc, nil)
+	conc.AddProbeLaunched()
 	if !s.run() {
 		return nil, fmt.Errorf("core: target %d is infeasible for %s", phi, c.Name)
 	}
@@ -63,6 +82,10 @@ func Minimize(c *netlist.Circuit, opts Options) (*Result, error) {
 	if err := validateInput(c, opts); err != nil {
 		return nil, err
 	}
+	// One decomposition cache and one counter set span the whole search —
+	// every probe, speculative or not, and the final mapping pass.
+	conc := &stats.Concurrency{}
+	cache := newDecompCache(conc)
 	var total Stats
 	ub := retime.Period(c)
 	if ub < 1 {
@@ -72,33 +95,42 @@ func Minimize(c *netlist.Circuit, opts Options) (*Result, error) {
 		// Paper's UB: TurboMap's optimum seeds TurboSYN's search.
 		tmOpts := opts
 		tmOpts.Decompose = false
-		tm, err := minimizeSearch(c, ub, tmOpts, &total)
+		tm, err := minimizeSearch(c, ub, tmOpts, &total, cache, conc)
 		if err != nil {
 			return nil, err
 		}
 		ub = tm
 	}
-	best, err := minimizeSearch(c, ub, opts, &total)
+	best, err := minimizeSearch(c, ub, opts, &total, cache, conc)
 	if err != nil {
 		return nil, err
 	}
-	res, err := MapAtRatio(c, best, opts)
+	res, err := mapAtRatio(c, best, opts, cache, conc)
 	if err != nil {
 		return nil, err
 	}
 	total.Add(res.Stats)
 	res.Stats = total
+	res.Stats.fold(conc.Snapshot())
 	return res, nil
 }
 
 // minimizeSearch binary-searches the smallest feasible phi in [1, ub].
-// ub must be feasible.
-func minimizeSearch(cc *netlist.Circuit, ub int, opts Options, total *Stats) (int, error) {
+// ub must be feasible. The accumulated statistics cover exactly the probes
+// on the canonical binary-search path, so totals match the sequential
+// search; speculative probes count only through the shared conc counters.
+func minimizeSearch(cc *netlist.Circuit, ub int, opts Options, total *Stats, cache *decompCache, conc *stats.Concurrency) (int, error) {
+	workers := opts.workerCount()
+	if workers > 1 && opts.IterBudget <= 0 && ub > 2 {
+		return speculativeSearch(cc, ub, opts, total, cache, conc, workers)
+	}
 	lo, hi := 1, ub
 	best := -1
 	for lo <= hi {
 		mid := (lo + hi) / 2
 		s := newState(cc, mid, opts)
+		s.attach(cache, conc, nil)
+		conc.AddProbeLaunched()
 		ok := s.run()
 		total.Add(s.stats)
 		if ok {
@@ -107,6 +139,106 @@ func minimizeSearch(cc *netlist.Circuit, ub int, opts Options, total *Stats) (in
 		} else {
 			lo = mid + 1
 		}
+	}
+	if best < 0 {
+		return 0, fmt.Errorf("core: no feasible target up to %d for %s (is the upper bound wrong?)",
+			ub, cc.Name)
+	}
+	return best, nil
+}
+
+// probe is one asynchronous feasibility decision at a fixed phi.
+type probe struct {
+	phi    int
+	cancel atomic.Bool
+	done   chan struct{}
+	ok     bool
+	stats  Stats
+}
+
+// speculativeSearch runs the same binary search as minimizeSearch but
+// probes ahead: alongside the midpoint it launches the midpoints of both
+// possible next intervals, so whichever way the current probe resolves, the
+// next decision is already in flight. The probe for the branch not taken is
+// cancelled (state.run notices via its cancel flag and aborts between
+// sweeps). Verdicts are deterministic per phi, so the search visits exactly
+// the phis the sequential search would and returns the same minimum.
+func speculativeSearch(cc *netlist.Circuit, ub int, opts Options, total *Stats, cache *decompCache, conc *stats.Concurrency, workers int) (int, error) {
+	// Split the pool between concurrent probes: the midpoint probe is the
+	// one blocking progress, the two lookahead probes ride along. Inner
+	// worker counts never change results, only scheduling.
+	maxProbes := 3
+	if workers < maxProbes {
+		maxProbes = workers
+	}
+	inner := workers / maxProbes
+	if inner < 1 {
+		inner = 1
+	}
+	popts := opts
+	popts.Workers = inner
+
+	running := make(map[int]*probe)
+	launch := func(phi int) {
+		if _, ok := running[phi]; ok {
+			return
+		}
+		p := &probe{phi: phi, done: make(chan struct{})}
+		running[phi] = p
+		conc.AddProbeLaunched()
+		go func() {
+			defer close(p.done)
+			s := newState(cc, phi, popts)
+			s.attach(cache, conc, &p.cancel)
+			p.ok = s.run()
+			p.stats = s.stats
+		}()
+	}
+	drop := func(p *probe, cancelled bool) {
+		delete(running, p.phi)
+		if cancelled {
+			p.cancel.Store(true)
+			conc.AddProbeCancelled()
+		}
+	}
+
+	lo, hi := 1, ub
+	best := -1
+	for lo <= hi {
+		mid := (lo + hi) / 2
+		launch(mid)
+		if left := mid - 1; lo <= left && len(running) < maxProbes {
+			launch((lo + left) / 2)
+		}
+		if right := mid + 1; right <= hi && len(running) < maxProbes {
+			launch((right + hi) / 2)
+		}
+		p := running[mid]
+		<-p.done
+		drop(p, false)
+		total.Add(p.stats)
+		if p.ok {
+			best = mid
+			hi = mid - 1
+		} else {
+			lo = mid + 1
+		}
+		// Cancel probes that fell outside the remaining interval; they can
+		// never become a midpoint again.
+		for phi, q := range running {
+			if phi < lo || phi > hi {
+				drop(q, true)
+			}
+		}
+	}
+	// Wind down lookahead probes still in flight before returning, so no
+	// goroutine outlives the search.
+	for _, q := range running {
+		q.cancel.Store(true)
+		conc.AddProbeCancelled()
+	}
+	for _, q := range running {
+		<-q.done
 	}
 	if best < 0 {
 		return 0, fmt.Errorf("core: no feasible target up to %d for %s (is the upper bound wrong?)",

@@ -1,0 +1,40 @@
+package graph
+
+// Levels returns the longest-path layering of the condensation DAG: a
+// component with no predecessors has level 0, and otherwise its level is one
+// more than the maximum level among its predecessors. Every condensation
+// edge therefore goes from a strictly lower to a strictly higher level, so
+// components sharing a level have no data dependencies between them — the
+// property the parallel label scheduler relies on to run whole components
+// concurrently within a level.
+func (s *SCCs) Levels() []int {
+	levels := make([]int, s.NumComps())
+	for _, c := range s.Order { // topological, so predecessors are final
+		for _, d := range s.DAG[c] {
+			if levels[c]+1 > levels[d] {
+				levels[d] = levels[c] + 1
+			}
+		}
+	}
+	return levels
+}
+
+// LevelGroups buckets component ids by their Levels value. Groups are
+// returned shallowest first, and components inside a group keep their
+// relative order from s.Order, so iterating groups front to back visits the
+// condensation in a topological order.
+func (s *SCCs) LevelGroups() [][]int {
+	levels := s.Levels()
+	maxLevel := -1
+	for _, l := range levels {
+		if l > maxLevel {
+			maxLevel = l
+		}
+	}
+	groups := make([][]int, maxLevel+1)
+	for _, c := range s.Order {
+		l := levels[c]
+		groups[l] = append(groups[l], c)
+	}
+	return groups
+}

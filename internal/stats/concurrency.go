@@ -1,0 +1,73 @@
+package stats
+
+import "sync/atomic"
+
+// Concurrency accumulates scheduler-level counters of a parallel synthesis
+// run: worker-pool sizing, level-barrier waves, sharded-cache traffic and
+// speculative-probe outcomes. All methods are safe for concurrent use from
+// any number of worker goroutines; read consistent totals with Snapshot
+// after the run (or between barriers).
+type Concurrency struct {
+	workers         atomic.Int64
+	levelWaves      atomic.Int64
+	tasks           atomic.Int64
+	cacheHits       atomic.Int64
+	cacheMisses     atomic.Int64
+	probesLaunched  atomic.Int64
+	probesCancelled atomic.Int64
+}
+
+// SetWorkers records the configured worker-pool size (kept as a high-water
+// mark, so nested schedulers report the widest pool).
+func (c *Concurrency) SetWorkers(n int) {
+	for {
+		cur := c.workers.Load()
+		if int64(n) <= cur || c.workers.CompareAndSwap(cur, int64(n)) {
+			return
+		}
+	}
+}
+
+// AddLevelWave counts one level barrier executed by the parallel scheduler.
+func (c *Concurrency) AddLevelWave() { c.levelWaves.Add(1) }
+
+// AddTask counts one SCC task executed by a pool worker.
+func (c *Concurrency) AddTask() { c.tasks.Add(1) }
+
+// AddCacheHit counts a sharded decomposition-cache hit.
+func (c *Concurrency) AddCacheHit() { c.cacheHits.Add(1) }
+
+// AddCacheMiss counts a sharded decomposition-cache miss.
+func (c *Concurrency) AddCacheMiss() { c.cacheMisses.Add(1) }
+
+// AddProbeLaunched counts a feasibility probe started by the search
+// (speculative or on the canonical binary-search path).
+func (c *Concurrency) AddProbeLaunched() { c.probesLaunched.Add(1) }
+
+// AddProbeCancelled counts a speculative probe cancelled because the search
+// took the other branch.
+func (c *Concurrency) AddProbeCancelled() { c.probesCancelled.Add(1) }
+
+// ConcurrencySnapshot is a plain-value copy of the counters.
+type ConcurrencySnapshot struct {
+	Workers         int // configured pool size (high-water mark)
+	LevelWaves      int // level barriers executed
+	Tasks           int // SCC tasks executed by pool workers
+	CacheHits       int // sharded decomposition-cache hits
+	CacheMisses     int // sharded decomposition-cache misses
+	ProbesLaunched  int // feasibility probes started
+	ProbesCancelled int // speculative probes cancelled
+}
+
+// Snapshot reads the counters.
+func (c *Concurrency) Snapshot() ConcurrencySnapshot {
+	return ConcurrencySnapshot{
+		Workers:         int(c.workers.Load()),
+		LevelWaves:      int(c.levelWaves.Load()),
+		Tasks:           int(c.tasks.Load()),
+		CacheHits:       int(c.cacheHits.Load()),
+		CacheMisses:     int(c.cacheMisses.Load()),
+		ProbesLaunched:  int(c.probesLaunched.Load()),
+		ProbesCancelled: int(c.probesCancelled.Load()),
+	}
+}

@@ -1,0 +1,60 @@
+package stats
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestConcurrencyCountersUnderContention(t *testing.T) {
+	var c Concurrency
+	const workers = 16
+	const perWorker = 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c.SetWorkers(w + 1)
+			for i := 0; i < perWorker; i++ {
+				c.AddTask()
+				if i%2 == 0 {
+					c.AddCacheHit()
+				} else {
+					c.AddCacheMiss()
+				}
+			}
+			c.AddLevelWave()
+			c.AddProbeLaunched()
+			if w%4 == 0 {
+				c.AddProbeCancelled()
+			}
+		}()
+	}
+	wg.Wait()
+	s := c.Snapshot()
+	if s.Workers != workers {
+		t.Errorf("Workers = %d, want high-water mark %d", s.Workers, workers)
+	}
+	if s.Tasks != workers*perWorker {
+		t.Errorf("Tasks = %d, want %d", s.Tasks, workers*perWorker)
+	}
+	if s.CacheHits+s.CacheMisses != workers*perWorker {
+		t.Errorf("cache traffic %d+%d, want %d", s.CacheHits, s.CacheMisses, workers*perWorker)
+	}
+	if s.LevelWaves != workers || s.ProbesLaunched != workers {
+		t.Errorf("waves/probes = %d/%d, want %d each", s.LevelWaves, s.ProbesLaunched, workers)
+	}
+	if s.ProbesCancelled != workers/4 {
+		t.Errorf("ProbesCancelled = %d, want %d", s.ProbesCancelled, workers/4)
+	}
+}
+
+func TestSetWorkersIsHighWaterMark(t *testing.T) {
+	var c Concurrency
+	c.SetWorkers(8)
+	c.SetWorkers(2)
+	if got := c.Snapshot().Workers; got != 8 {
+		t.Fatalf("Workers = %d, want 8", got)
+	}
+}

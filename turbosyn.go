@@ -104,6 +104,11 @@ type Options struct {
 	// NoRealize skips the final retiming/pipelining step; Result.Realized
 	// is then nil and only the mapped network is returned.
 	NoRealize bool
+	// Workers bounds the worker pool of the parallel label engine (and the
+	// speculative probe fan-out of the phi search): 0 means
+	// runtime.NumCPU(), 1 forces the sequential path. Results are
+	// bit-identical for every setting.
+	Workers int
 	// Advanced tuning; zero values mean the paper's settings.
 	Cmax     int
 	MaxH     int
@@ -178,6 +183,7 @@ func Synthesize(c *Circuit, o Options) (*Result, error) {
 			PLD:       !o.NoPLD,
 			Pipelined: o.Objective == MinRatio,
 			Relax:     !o.NoRelax,
+			Workers:   o.Workers,
 		}
 		res, err = core.Minimize(work, opts)
 	}
@@ -268,6 +274,7 @@ func Feasible(c *Circuit, phi int, o Options) (bool, core.Stats, error) {
 		Decompose: o.Algorithm == TurboSYN,
 		PLD:       !o.NoPLD,
 		Pipelined: o.Objective == MinRatio,
+		Workers:   o.Workers,
 	})
 }
 
