@@ -23,8 +23,11 @@ test-full:
 race:
 	$(GO) test -race -short -timeout 15m ./...
 
-# One iteration of the PLD and scaling benchmarks; sanity, not statistics.
-# The Scale benchmarks run j1/jN sub-benchmarks, so the output shows the
-# parallel engine's speedup on whatever machine ran them.
+# One iteration of the PLD, scaling and warm/cold-probe benchmarks; sanity,
+# not statistics. The Scale benchmarks run j1/jN sub-benchmarks, so the
+# output shows the parallel engine's speedup on whatever machine ran them.
+# The text log is also rendered to BENCH_labels.json (ns/op, allocs/op and
+# custom metrics per benchmark) for machine consumption.
 bench-smoke:
-	$(GO) test -bench 'BenchmarkPLD|BenchmarkScale1k' -benchtime 1x -run '^$$' -timeout 20m . | tee bench-smoke.txt
+	$(GO) test -bench 'BenchmarkPLD|BenchmarkScale1k|BenchmarkWarmProbes|BenchmarkColdProbes' -benchtime 1x -benchmem -run '^$$' -timeout 20m . | tee bench-smoke.txt
+	$(GO) run ./cmd/benchjson -o BENCH_labels.json < bench-smoke.txt

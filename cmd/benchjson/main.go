@@ -1,0 +1,113 @@
+// Command benchjson converts `go test -bench` text output (read on stdin)
+// into a stable JSON document, so CI can publish benchmark numbers — ns/op,
+// B/op, allocs/op and any custom b.ReportMetric units such as iters or
+// warmstarts — as a machine-readable artifact (BENCH_labels.json).
+//
+// Usage:
+//
+//	go test -bench . -benchmem . | benchjson -o BENCH_labels.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Doc is the emitted document: the run context lines go test prints (goos,
+// goarch, cpu, pkg) plus one entry per benchmark result line.
+type Doc struct {
+	Context    map[string]string `json:"context"`
+	Benchmarks []Benchmark       `json:"benchmarks"`
+}
+
+// Benchmark is one result line: the benchmark name (including sub-benchmark
+// path and -cpu suffix), the iteration count, and every reported metric
+// keyed by its unit.
+type Benchmark struct {
+	Name    string             `json:"name"`
+	N       int64              `json:"n"`
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// Parse reads `go test -bench` output and collects context and results.
+// Unparseable lines (test chatter, PASS/ok trailers) are skipped.
+func Parse(r io.Reader) (*Doc, error) {
+	doc := &Doc{Context: map[string]string{}}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		for _, key := range []string{"goos", "goarch", "pkg", "cpu"} {
+			if v, ok := strings.CutPrefix(line, key+": "); ok {
+				doc.Context[key] = strings.TrimSpace(v)
+			}
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		// Name, N, then (value, unit) pairs: Benchmark... 8 123 ns/op 4 allocs/op
+		if len(fields) < 4 || len(fields)%2 != 0 {
+			continue
+		}
+		n, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		b := Benchmark{Name: fields[0], N: n, Metrics: map[string]float64{}}
+		ok := true
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				ok = false
+				break
+			}
+			b.Metrics[fields[i+1]] = v
+		}
+		if ok && len(b.Metrics) > 0 {
+			doc.Benchmarks = append(doc.Benchmarks, b)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return doc, nil
+}
+
+func main() {
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	doc, err := Parse(os.Stdin)
+	if err != nil {
+		fatal(err)
+	}
+	if len(doc.Benchmarks) == 0 {
+		fatal(fmt.Errorf("no benchmark result lines on stdin"))
+	}
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}

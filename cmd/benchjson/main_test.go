@@ -1,0 +1,52 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: turbosyn
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkWarmProbes_bbara 	       1	 385343297 ns/op	      1840 iters	         3.000 warmstarts	251278808 B/op	  929836 allocs/op
+BenchmarkScale1k/j1       	       2	54453132746 ns/op	      1036 gates	         4.000 phi	49631384784 B/op	449284798 allocs/op
+--- BENCH: BenchmarkScale1k
+    some test chatter
+PASS
+ok  	turbosyn	10.093s
+`
+
+func TestParse(t *testing.T) {
+	doc, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Context["goos"] != "linux" || doc.Context["cpu"] == "" {
+		t.Fatalf("context = %v", doc.Context)
+	}
+	if len(doc.Benchmarks) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2", len(doc.Benchmarks))
+	}
+	warm := doc.Benchmarks[0]
+	if warm.Name != "BenchmarkWarmProbes_bbara" || warm.N != 1 {
+		t.Fatalf("benchmark[0] = %+v", warm)
+	}
+	for unit, want := range map[string]float64{
+		"ns/op":      385343297,
+		"iters":      1840,
+		"warmstarts": 3,
+		"B/op":       251278808,
+		"allocs/op":  929836,
+	} {
+		if got := warm.Metrics[unit]; got != want {
+			t.Errorf("%s = %v, want %v", unit, got, want)
+		}
+	}
+	if doc.Benchmarks[1].Name != "BenchmarkScale1k/j1" {
+		t.Fatalf("benchmark[1] = %+v", doc.Benchmarks[1])
+	}
+	if doc.Benchmarks[1].Metrics["allocs/op"] != 449284798 {
+		t.Errorf("scale allocs/op = %v", doc.Benchmarks[1].Metrics["allocs/op"])
+	}
+}

@@ -15,27 +15,48 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"turbosyn"
+	"turbosyn/internal/prof"
 )
 
 func main() {
 	var (
-		k         = flag.Int("k", 5, "LUT input count")
-		alg       = flag.String("alg", "turbosyn", "algorithm: turbosyn | turbomap | flowsyns")
-		objective = flag.String("objective", "ratio", "objective: ratio (retiming+pipelining) | period (retiming only)")
-		out       = flag.String("o", "", "output file (default stdout)")
-		noPack    = flag.Bool("nopack", false, "skip LUT packing")
-		raw       = flag.Bool("mapped", false, "emit the mapped network before retiming instead of the realized one")
-		noPLD     = flag.Bool("nopld", false, "disable positive loop detection (n^2 stopping rule)")
-		workers   = flag.Int("j", 0, "worker pool size (0 = all CPUs, 1 = sequential); results are identical for every setting")
+		k          = flag.Int("k", 5, "LUT input count")
+		alg        = flag.String("alg", "turbosyn", "algorithm: turbosyn | turbomap | flowsyns")
+		objective  = flag.String("objective", "ratio", "objective: ratio (retiming+pipelining) | period (retiming only)")
+		out        = flag.String("o", "", "output file (default stdout)")
+		noPack     = flag.Bool("nopack", false, "skip LUT packing")
+		raw        = flag.Bool("mapped", false, "emit the mapped network before retiming instead of the realized one")
+		noPLD      = flag.Bool("nopld", false, "disable positive loop detection (n^2 stopping rule)")
+		noWarm     = flag.Bool("nowarm", false, "disable warm-started search probes (cold binary search)")
+		workers    = flag.Int("j", 0, "worker pool size (0 = all CPUs, 1 = sequential); results are identical for every setting")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file (samples carry a per-stage 'phase' label)")
+		memProfile = flag.String("memprofile", "", "write an allocation profile to this file after synthesis")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: turbosyn [flags] <in.blif | ->")
 		flag.PrintDefaults()
 		os.Exit(2)
+	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		// Tag engine goroutines with their current stage so the profile can
+		// be split with `go tool pprof -tagfocus phase=flow` etc.
+		prof.Enable(true)
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
 	}
 
 	var in io.Reader = os.Stdin
@@ -52,7 +73,7 @@ func main() {
 		fatal(err)
 	}
 
-	opts := turbosyn.Options{K: *k, NoPack: *noPack, NoPLD: *noPLD, Workers: *workers}
+	opts := turbosyn.Options{K: *k, NoPack: *noPack, NoPLD: *noPLD, NoWarmStart: *noWarm, Workers: *workers}
 	switch *alg {
 	case "turbosyn":
 		opts.Algorithm = turbosyn.TurboSYN
@@ -98,6 +119,18 @@ func main() {
 	}
 	if err := turbosyn.WriteBLIF(w, target); err != nil {
 		fatal(err)
+	}
+
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		runtime.GC() // settle the heap so the profile shows retained allocation
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fatal(err)
+		}
 	}
 }
 

@@ -1,0 +1,62 @@
+package core
+
+import (
+	"testing"
+
+	"turbosyn/internal/decomp"
+	"turbosyn/internal/netlist"
+)
+
+// TestWarmLabelSweepZeroAlloc pins the tentpole property of the scratch
+// arenas: once the arena is warm, a full structural label sweep — computeL,
+// expansion build, K-cut flow check and label update for every gate —
+// performs zero heap allocation. The sweep runs the TurboMap configuration
+// (Decompose off); resynthesis attempts and recording passes are documented
+// to allocate (cone truth tables, replica lists and cache keys outlive the
+// arena) and are pinned only indirectly through the benchmarks.
+func TestWarmLabelSweepZeroAlloc(t *testing.T) {
+	c := fsmCircuit(2, 7, 4)()
+	opts := DefaultOptions()
+	opts.Decompose = false
+	opts.Workers = 1
+	if !c.IsKBounded(opts.K) {
+		var err error
+		if c, err = decomp.KBound(c, opts.K); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := newState(c, 2, opts)
+	if !s.run() {
+		t.Fatal("phi=2 must be feasible for the suite FSM")
+	}
+
+	var updatable []int
+	for _, id := range s.order {
+		n := s.c.Nodes[id]
+		if n.Kind != netlist.PI && len(n.Fanins) > 0 {
+			updatable = append(updatable, id)
+		}
+	}
+	ar := s.arenaFor(0)
+	var st Stats
+	sweep := func() {
+		// Invalidate the decision cache so every node re-runs the full
+		// expand + flow decision instead of short-circuiting.
+		for i := range s.decided {
+			s.decided[i] = false
+			s.lastL[i] = -labelInf
+		}
+		for _, id := range updatable {
+			if s.update(id, false, &st, ar) {
+				t.Fatal("labels moved after convergence")
+			}
+		}
+	}
+	sweep() // warm the arena to its high-water mark
+	if allocs := testing.AllocsPerRun(20, sweep); allocs != 0 {
+		t.Fatalf("warm structural label sweep allocates %.1f objects/run, want 0", allocs)
+	}
+	if st.ExpandBuilds == 0 || st.CutChecks == 0 {
+		t.Fatalf("sweep did no decisions (builds=%d, checks=%d)", st.ExpandBuilds, st.CutChecks)
+	}
+}

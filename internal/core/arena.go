@@ -1,0 +1,54 @@
+package core
+
+import (
+	"turbosyn/internal/cut"
+	"turbosyn/internal/expand"
+	"turbosyn/internal/logic"
+)
+
+// arena is the per-worker scratch of the label hot path: one expansion
+// builder, one cut arena (flow network + cone walk scratch) and the
+// cone-function evaluation scratch. Every piece retains its backing arrays
+// across calls, so a warm arena decides a node's label without heap
+// allocation on the structural path.
+//
+// Ownership model (see DESIGN.md, "Scratch arenas"): the sequential engine
+// owns arena 0; the parallel engine hands arena w to pool worker w, and a
+// level barrier separates any two uses of the same arena by different
+// goroutines. Results never alias arena memory — covers copy replicas out —
+// so arenas are invisible in the output.
+type arena struct {
+	xb expand.Builder
+	ca cut.Arena
+
+	// coneFunction scratch, sized to the current expansion.
+	varOf []int // replica id -> cut variable, -1 inside the cone
+	memo  []*logic.TT
+
+	// iterateComp / sccIsolated scratch, sized to the circuit.
+	updatable []int
+	reach     []bool
+	rqueue    []int
+
+	// The bound the builder's expansion currently describes, and whether it
+	// is valid for the node being decided (set by decide, consumed by the
+	// tighter/looser probes of the same node).
+	builtL int
+	built  bool
+}
+
+// bytes reports the approximate footprint of the arena's retained arrays
+// (the Stats.ArenaPeakBytes high-water mark).
+func (ar *arena) bytes() int {
+	return ar.xb.Bytes() + ar.ca.Bytes() +
+		cap(ar.varOf)*8 + cap(ar.memo)*8 +
+		cap(ar.updatable)*8 + cap(ar.reach) + cap(ar.rqueue)*8
+}
+
+// arenaFor returns the worker's scratch arena, creating it on first use.
+func (s *state) arenaFor(w int) *arena {
+	for len(s.arenas) <= w {
+		s.arenas = append(s.arenas, &arena{})
+	}
+	return s.arenas[w]
+}

@@ -65,6 +65,14 @@ type Options struct {
 	// convergence, resynthesized covers whose labels can rise without
 	// breaking feasibility revert to single structural LUTs.
 	Relax bool
+	// NoWarmStart disables seeding binary-search probes from the converged
+	// labels of the nearest already-decided feasible probe (labels are
+	// monotone non-increasing in phi, so those labels lower-bound the new
+	// probe's fixpoint; see DESIGN.md, "Warm-started probes"). The final
+	// mapping pass always runs cold, so verdicts, the minimized phi and the
+	// mapped network are identical either way; the flag exists as an escape
+	// hatch and to benchmark cold probes.
+	NoWarmStart bool
 	// Workers bounds the worker pool of the parallel label engine and the
 	// speculative probe fan-out of the binary search: 0 means
 	// runtime.NumCPU(), 1 forces the strictly sequential path. Every
@@ -121,6 +129,12 @@ type Stats struct {
 	PLDChecks      int // predecessor-graph reachability checks
 	PLDHits        int // infeasibility detected by PLD
 
+	// Arena and warm-start effectiveness counters (see DESIGN.md).
+	ExpandBuilds   int // expansions built from scratch
+	ExpandReuses   int // expansions served by in-place Tighten/Loosen
+	ArenaPeakBytes int // high-water footprint of the busiest scratch arena
+	WarmStarts     int // search probes seeded from a neighbouring probe's labels
+
 	// Concurrency counters (see Options.Workers and internal/stats).
 	Workers          int // effective worker-pool size (1 = sequential)
 	LevelWaves       int // parallel level barriers executed
@@ -139,6 +153,12 @@ func (s *Stats) Add(s2 Stats) {
 	s.DecompAttempts += s2.DecompAttempts
 	s.PLDChecks += s2.PLDChecks
 	s.PLDHits += s2.PLDHits
+	s.ExpandBuilds += s2.ExpandBuilds
+	s.ExpandReuses += s2.ExpandReuses
+	if s2.ArenaPeakBytes > s.ArenaPeakBytes {
+		s.ArenaPeakBytes = s2.ArenaPeakBytes
+	}
+	s.WarmStarts += s2.WarmStarts
 	if s2.Workers > s.Workers {
 		s.Workers = s2.Workers
 	}

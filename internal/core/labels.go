@@ -12,6 +12,7 @@ import (
 	"turbosyn/internal/graph"
 	"turbosyn/internal/logic"
 	"turbosyn/internal/netlist"
+	"turbosyn/internal/prof"
 	"turbosyn/internal/stats"
 )
 
@@ -68,6 +69,12 @@ type state struct {
 	// labels that no longer matter. Reset at the top of every run.
 	failed atomic.Bool
 
+	// arenas holds the per-worker scratch of the label hot path (see
+	// arena.go): arena 0 serves the sequential sweep, arena w serves pool
+	// worker w. Grown lazily by arenaFor; never shared between concurrently
+	// running goroutines.
+	arenas []*arena
+
 	recs  []coverRec
 	stats Stats
 }
@@ -122,6 +129,16 @@ func (s *state) attach(cache *decompCache, conc *stats.Concurrency, cancel *atom
 	s.cancel = cancel
 }
 
+// seedLabels warm-starts this probe from labels converged at a larger phi.
+// Labels are monotone non-increasing in phi, so labels converged at some
+// phi' >= s.phi are a pointwise lower bound on this probe's fixpoint, and
+// the monotone iteration started from them reaches the same fixpoint as a
+// cold start, in fewer sweeps (see DESIGN.md, "Warm-started probes").
+func (s *state) seedLabels(seed []int) {
+	copy(s.labels, seed)
+	s.stats.WarmStarts++
+}
+
 // stopped reports whether the probe should abandon work: a sibling
 // component proved phi infeasible, or the search cancelled this probe.
 func (s *state) stopped() bool {
@@ -156,8 +173,9 @@ func (s *state) run() bool {
 		return s.runParallel()
 	}
 	s.conc.SetWorkers(1)
+	ar := s.arenaFor(0)
 	for _, comp := range s.sccs.Order {
-		if s.runComp(comp, &s.stats) != compConverged {
+		if s.runComp(comp, &s.stats, ar) != compConverged {
 			return false
 		}
 	}
@@ -194,9 +212,20 @@ const (
 // runComp iterates component comp to convergence. st receives the work
 // counters; in the sequential schedule it is the state's own stats, in the
 // parallel schedule a per-task accumulator merged after the level barrier.
-// Writes touch only the component's members, so concurrent invocations on
-// same-level components are disjoint.
-func (s *state) runComp(comp int, st *Stats) compOutcome {
+// ar is the calling worker's scratch arena; writes touch only the
+// component's members and the arena, so concurrent invocations on
+// same-level components with distinct arenas are disjoint.
+func (s *state) runComp(comp int, st *Stats, ar *arena) compOutcome {
+	out := s.iterateComp(comp, st, ar)
+	if b := ar.bytes(); b > st.ArenaPeakBytes {
+		st.ArenaPeakBytes = b
+	}
+	return out
+}
+
+// iterateComp is runComp's body; runComp wraps it to record the arena
+// high-water mark once per component run.
+func (s *state) iterateComp(comp int, st *Stats, ar *arena) compOutcome {
 	// Sound runaway certificate: in any feasible mapping the needed LUTs
 	// number at most the gate count, simple LUT-level paths bound arrivals
 	// by that count, and loops contribute nothing positive — so a label
@@ -204,15 +233,17 @@ func (s *state) runComp(comp int, st *Stats) compOutcome {
 	// 6n-iteration PLD below together form the fast detection suite that
 	// Options.PLD toggles; without it only the conservative per-SCC n^2
 	// stopping rule of SeqMapII remains (the paper's 10-50x comparison).
+	prof.Phase(prof.PhaseLabel)
 	maxLabel := s.c.NumNodes() + 2
 	members := s.memberOrder[comp]
-	updatable := members[:0:0]
+	updatable := ar.updatable[:0]
 	for _, id := range members {
 		n := s.c.Nodes[id]
 		if n.Kind != netlist.PI && len(n.Fanins) > 0 {
 			updatable = append(updatable, id)
 		}
 	}
+	ar.updatable = updatable
 	if len(updatable) == 0 {
 		return compConverged
 	}
@@ -222,13 +253,9 @@ func (s *state) runComp(comp int, st *Stats) compOutcome {
 	// member along a simple path. Tighter than the global bound, so
 	// diverging components stop pumping sooner.
 	base := 0
-	inComp := make(map[int]bool, n)
-	for _, id := range members {
-		inComp[id] = true
-	}
 	for _, id := range members {
 		for _, f := range s.c.Nodes[id].Fanins {
-			if !inComp[f.From] {
+			if s.sccs.Comp[f.From] != comp {
 				if v := s.labels[f.From] - s.phi*f.Weight; v > base {
 					base = v
 				}
@@ -254,7 +281,7 @@ func (s *state) runComp(comp int, st *Stats) compOutcome {
 		st.Iterations++
 		changed := false
 		for _, id := range updatable {
-			if s.update(id, false, st) {
+			if s.update(id, false, st, ar) {
 				changed = true
 			}
 		}
@@ -264,7 +291,7 @@ func (s *state) runComp(comp int, st *Stats) compOutcome {
 			// Gauss-Seidel sweep raced itself; keep iterating.
 			st.Iterations++
 			for _, id := range updatable {
-				if s.update(id, true, st) {
+				if s.update(id, true, st, ar) {
 					changed = true
 				}
 			}
@@ -281,7 +308,10 @@ func (s *state) runComp(comp int, st *Stats) compOutcome {
 			}
 			if iter+1 >= pldFrom {
 				st.PLDChecks++
-				if s.sccIsolated(comp) {
+				prof.Phase(prof.PhasePLD)
+				isolated := s.sccIsolated(comp, ar)
+				prof.Phase(prof.PhaseLabel)
+				if isolated {
 					st.PLDHits++
 					return compInfeasible
 				}
@@ -293,7 +323,7 @@ func (s *state) runComp(comp int, st *Stats) compOutcome {
 
 // update re-decides node id's label. record requests cover recording (used
 // on the final fresh pass). It reports whether the label changed.
-func (s *state) update(id int, record bool, st *Stats) bool {
+func (s *state) update(id int, record bool, st *Stats, ar *arena) bool {
 	n := s.c.Nodes[id]
 	L := s.computeL(id)
 	if n.Kind == netlist.PO {
@@ -312,7 +342,7 @@ func (s *state) update(id int, record bool, st *Stats) bool {
 	}
 	s.decided[id] = true
 	s.lastL[id] = L
-	newLabel, rec := s.decide(id, L, record, st)
+	newLabel, rec := s.decide(id, L, record, st, ar)
 	if record {
 		s.recs[id] = rec
 	}
@@ -325,25 +355,37 @@ func (s *state) update(id int, record bool, st *Stats) bool {
 }
 
 // decide computes the label for gate id given L, optionally producing the
-// cover record.
-func (s *state) decide(id, L int, record bool, st *Stats) (int, coverRec) {
+// cover record. The arena serves every probe of the decision from one
+// expansion: the structural check builds E_v at bound L, the resynthesis
+// probes tighten it in place to L-1, L-2, ... and the L+1 settle re-marks
+// it looser — only the flow computation reruns per bound.
+func (s *state) decide(id, L int, record bool, st *Stats, ar *arena) (int, coverRec) {
 	xopts := expand.Options{LowDepth: s.opts.LowDepth, MaxNodes: s.opts.MaxExpand}
 	// Structural K-cut of height <= L?
 	st.CutChecks++
-	if x, built := expand.Build(s.c, id, s.labels, s.phi, L, xopts); built {
-		if res, ok := cut.KCut(x, s.opts.K); ok {
+	st.ExpandBuilds++
+	prof.Phase(prof.PhaseExpand)
+	x, built := ar.xb.Build(s.c, id, s.labels, s.phi, L, xopts)
+	ar.built, ar.builtL = built, L
+	if built {
+		prof.Phase(prof.PhaseFlow)
+		res, ok := ar.ca.KCut(x, s.opts.K)
+		prof.Phase(prof.PhaseLabel)
+		if ok {
 			var rec coverRec
 			if record {
-				rec = s.structuralRec(x, res)
+				rec = s.structuralRec(x, res, ar)
 			}
 			return L, rec
 		}
+	} else {
+		prof.Phase(prof.PhaseLabel)
 	}
 	// TurboSYN: resynthesize a wider, lower cut. Fast passes back off on
 	// label-pumping nodes (see the field comment); recording passes always
 	// attempt.
 	if s.opts.Decompose && (record || s.bumps[id] < 8 || L >= s.nextDecomp[id]) {
-		if tree, cutReps, ok := s.tryDecompose(id, L, xopts, st); ok {
+		if tree, cutReps, ok := s.tryDecompose(id, L, st, ar); ok {
 			s.nextDecomp[id] = 0
 			return L, coverRec{cut: cutReps, tree: tree}
 		}
@@ -353,18 +395,35 @@ func (s *state) decide(id, L int, record bool, st *Stats) (int, coverRec) {
 		}
 		s.nextDecomp[id] = L + step
 	}
-	// Settle for L+1; the direct-fanin cut realizes it.
+	// Settle for L+1; the direct-fanin cut realizes it: every direct fanin
+	// replica has eff <= L+1 by the definition of L, and the input netlist
+	// is K-bounded, so the cut below never fails on a well-formed graph.
 	var rec coverRec
 	if record {
-		x, built := expand.Build(s.c, id, s.labels, s.phi, L+1, xopts)
-		if !built {
-			panic("core: cannot expand for the trivial cut")
+		if ar.built {
+			// Reuse whatever region the L build (and any tighter probes)
+			// expanded; re-marking it for L+1 keeps every valid cut and the
+			// extra depth can only expose better ones.
+			st.ExpandReuses++
+			x = ar.xb.Loosen(L + 1)
+		} else {
+			// The expansion at bound L (or a tighter probe) overflowed the
+			// node cap; the L+1 region is smaller and may still fit.
+			st.ExpandBuilds++
+			prof.Phase(prof.PhaseExpand)
+			var ok bool
+			x, ok = ar.xb.Build(s.c, id, s.labels, s.phi, L+1, xopts)
+			if !ok {
+				panic("core: cannot expand for the trivial cut")
+			}
 		}
-		res, ok := cut.KCut(x, s.opts.K)
+		prof.Phase(prof.PhaseFlow)
+		res, ok := ar.ca.KCut(x, s.opts.K)
+		prof.Phase(prof.PhaseLabel)
 		if !ok {
 			panic("core: the direct-fanin cut must exist at height L+1")
 		}
-		rec = s.structuralRec(x, res)
+		rec = s.structuralRec(x, res, ar)
 	}
 	return L + 1, rec
 }
@@ -372,21 +431,40 @@ func (s *state) decide(id, L int, record bool, st *Stats) (int, coverRec) {
 // tryDecompose searches cuts of heights L-1, L-2, ... (width <= Cmax) whose
 // cone function decomposes into a tree of K-LUTs of depth h+1, realizing
 // label L (the paper's sequential functional decomposition).
-func (s *state) tryDecompose(id, L int, xopts expand.Options, st *Stats) (*decomp.Tree, []Replica, bool) {
+//
+// The probes reuse decide's expansion at bound L: dropping the bound only
+// grows the expanded region, so each probe Tightens the arena's builder in
+// place instead of re-expanding from scratch.
+func (s *state) tryDecompose(id, L int, st *Stats, ar *arena) (*decomp.Tree, []Replica, bool) {
 	if s.opts.Cmax > logic.MaxVars {
 		panic("core: Cmax exceeds logic.MaxVars")
 	}
+	if !ar.built {
+		// The expansion at bound L already overflowed the node cap; every
+		// tighter bound expands a superset and fails the same way.
+		return nil, nil, false
+	}
 	for h := 1; h <= s.opts.MaxH; h++ {
-		x, built := expand.Build(s.c, id, s.labels, s.phi, L-h, xopts)
-		if !built {
+		prof.Phase(prof.PhaseExpand)
+		x, ok := ar.xb.Tighten(L - h)
+		if !ok {
+			// The extension overflowed the node cap mid-relaxation, leaving
+			// the region partially extended; flag the expansion unusable so
+			// decide's settle path rebuilds instead of re-marking it.
+			ar.built = false
+			prof.Phase(prof.PhaseLabel)
 			return nil, nil, false
 		}
-		res, ok := cut.MinCut(x, s.opts.Cmax)
-		if !ok {
+		st.ExpandReuses++
+		prof.Phase(prof.PhaseFlow)
+		res, okCut := ar.ca.MinCut(x, s.opts.Cmax)
+		prof.Phase(prof.PhaseDecompose)
+		if !okCut {
+			prof.Phase(prof.PhaseLabel)
 			return nil, nil, false // even Cmax-wide cuts are gone; deeper is worse
 		}
 		st.DecompAttempts++
-		fn, reps := s.coneFunction(x, res)
+		fn, reps := s.coneFunction(x, res, ar)
 		// Bound-set priority: earliest effective arrival first, so early
 		// signals sink toward the leaves (the paper's FlowSYN ordering).
 		prio := make([]int, len(reps))
@@ -409,8 +487,10 @@ func (s *state) tryDecompose(id, L int, xopts expand.Options, st *Stats) (*decom
 			continue
 		}
 		st.Decompositions++
+		prof.Phase(prof.PhaseLabel)
 		return tree, reps, true
 	}
+	prof.Phase(prof.PhaseLabel)
 	return nil, nil, false
 }
 
@@ -433,8 +513,8 @@ func decompKey(k, depthBudget int, prio []int, fn *logic.TT) string {
 
 // structuralRec converts a structural cut into a cover record: a
 // single-node tree computing the cone function over the cut signals.
-func (s *state) structuralRec(x *expand.Expanded, res *cut.Result) coverRec {
-	fn, reps := s.coneFunction(x, res)
+func (s *state) structuralRec(x *expand.Expanded, res *cut.Result, ar *arena) coverRec {
+	fn, reps := s.coneFunction(x, res, ar)
 	children := make([]int, len(reps))
 	for i := range children {
 		children[i] = i
@@ -445,25 +525,36 @@ func (s *state) structuralRec(x *expand.Expanded, res *cut.Result) coverRec {
 }
 
 // coneFunction computes the cone's Boolean function over the cut signals
-// (variable j = cut replica j) and the replica list.
-func (s *state) coneFunction(x *expand.Expanded, res *cut.Result) (*logic.TT, []Replica) {
+// (variable j = cut replica j) and the replica list. The variable and memo
+// tables live in the arena, indexed by replica id; only the replica list and
+// the truth tables themselves (which outlive the call) are allocated.
+func (s *state) coneFunction(x *expand.Expanded, res *cut.Result, ar *arena) (*logic.TT, []Replica) {
 	m := len(res.Cut)
 	if m > logic.MaxVars {
 		panic(fmt.Sprintf("core: cone with %d inputs", m))
 	}
-	varOf := make(map[int]int, m)
+	n := len(x.Nodes)
+	if cap(ar.varOf) < n {
+		ar.varOf = make([]int, n)
+		ar.memo = make([]*logic.TT, n)
+	}
+	varOf := ar.varOf[:n]
+	memo := ar.memo[:n]
+	for i := 0; i < n; i++ {
+		varOf[i] = -1
+		memo[i] = nil
+	}
 	reps := make([]Replica, m)
 	for j, repID := range res.Cut {
 		varOf[repID] = j
 		reps[j] = Replica{Orig: x.Nodes[repID].Orig, W: x.Nodes[repID].W}
 	}
-	memo := make(map[int]*logic.TT, len(res.Cone))
 	var eval func(repID int) *logic.TT
 	eval = func(repID int) *logic.TT {
-		if j, ok := varOf[repID]; ok {
+		if j := varOf[repID]; j >= 0 {
 			return logic.Var(m, j)
 		}
-		if tt, ok := memo[repID]; ok {
+		if tt := memo[repID]; tt != nil {
 			return tt
 		}
 		orig := s.c.Nodes[x.Nodes[repID].Orig]
@@ -506,15 +597,22 @@ func projectConst(f *logic.TT, m int) *logic.TT {
 // that the walk reads only labels that are final (lower levels) or owned by
 // this component, keeping the check race-free and schedule-independent
 // under the parallel scheduler.
-func (s *state) sccIsolated(comp int) bool {
+func (s *state) sccIsolated(comp int, ar *arena) bool {
 	n := s.c.NumNodes()
 	myLevel := s.levels[comp]
 	allowed := func(id int) bool {
 		c := s.sccs.Comp[id]
 		return c == comp || s.levels[c] < myLevel
 	}
-	reach := make([]bool, n)
-	queue := make([]int, 0, n)
+	if cap(ar.reach) < n {
+		ar.reach = make([]bool, n)
+		ar.rqueue = make([]int, 0, n)
+	}
+	reach := ar.reach[:n]
+	for i := range reach {
+		reach[i] = false
+	}
+	queue := ar.rqueue[:0]
 	for id := 0; id < n; id++ {
 		if allowed(id) && s.labels[id] <= 1 {
 			reach[id] = true
@@ -534,6 +632,7 @@ func (s *state) sccIsolated(comp int) bool {
 			}
 		}
 	}
+	ar.rqueue = queue[:0]
 	for _, id := range s.sccs.Members[comp] {
 		if reach[id] {
 			return false

@@ -36,7 +36,7 @@ func (s *state) runParallel() bool {
 			continue
 		}
 		if len(tasks) == 1 || s.workers == 1 {
-			if s.runComp(tasks[0], &s.stats) != compConverged {
+			if s.runComp(tasks[0], &s.stats, s.arenaFor(0)) != compConverged {
 				return false
 			}
 			continue
@@ -51,12 +51,16 @@ func (s *state) runParallel() bool {
 		next := make(chan int)
 		var wg sync.WaitGroup
 		for w := 0; w < workers; w++ {
+			// Hand worker w its scratch arena before launch: arenaFor grows
+			// s.arenas, so it must not run concurrently. The level barrier
+			// below separates any two uses of the same arena.
+			ar := s.arenaFor(w)
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
 				for i := range next {
 					s.conc.AddTask()
-					out := s.runComp(tasks[i], &taskStats[i])
+					out := s.runComp(tasks[i], &taskStats[i], ar)
 					outcomes[i] = out
 					if out == compInfeasible {
 						// Flag siblings so they stop pumping labels that

@@ -124,17 +124,25 @@ func minimizeSearch(cc *netlist.Circuit, ub int, opts Options, total *Stats, cac
 	if workers > 1 && opts.IterBudget <= 0 && ub > 2 {
 		return speculativeSearch(cc, ub, opts, total, cache, conc, workers)
 	}
+	// Every later probe targets a phi below the best feasible one found so
+	// far, so the best probe's converged labels always qualify as a seed.
+	warm := !opts.NoWarmStart && opts.IterBudget <= 0
+	var warmLabels []int
 	lo, hi := 1, ub
 	best := -1
 	for lo <= hi {
 		mid := (lo + hi) / 2
 		s := newState(cc, mid, opts)
 		s.attach(cache, conc, nil)
+		if warm && warmLabels != nil {
+			s.seedLabels(warmLabels)
+		}
 		conc.AddProbeLaunched()
 		ok := s.run()
 		total.Add(s.stats)
 		if ok {
 			best = mid
+			warmLabels = s.labels
 			hi = mid - 1
 		} else {
 			lo = mid + 1
@@ -154,6 +162,7 @@ type probe struct {
 	done   chan struct{}
 	ok     bool
 	stats  Stats
+	labels []int // converged labels when ok (warm-start seed for later probes)
 }
 
 // speculativeSearch runs the same binary search as minimizeSearch but
@@ -178,6 +187,15 @@ func speculativeSearch(cc *netlist.Circuit, ub int, opts Options, total *Stats, 
 	popts := opts
 	popts.Workers = inner
 
+	// Warm-start store: every launch targets a phi at or below hi, which is
+	// strictly below the best feasible probe accepted so far, so the latest
+	// accepted probe's labels always qualify as a seed. The store is read
+	// and written only on this goroutine (launches and accepts both happen
+	// in the search loop), and a stored slice is never mutated again — the
+	// probe that produced it has finished and seeding copies it.
+	warm := !opts.NoWarmStart
+	var warmLabels []int
+
 	running := make(map[int]*probe)
 	launch := func(phi int) {
 		if _, ok := running[phi]; ok {
@@ -186,12 +204,17 @@ func speculativeSearch(cc *netlist.Circuit, ub int, opts Options, total *Stats, 
 		p := &probe{phi: phi, done: make(chan struct{})}
 		running[phi] = p
 		conc.AddProbeLaunched()
+		seed := warmLabels
 		go func() {
 			defer close(p.done)
 			s := newState(cc, phi, popts)
 			s.attach(cache, conc, &p.cancel)
+			if seed != nil {
+				s.seedLabels(seed)
+			}
 			p.ok = s.run()
 			p.stats = s.stats
+			p.labels = s.labels
 		}()
 	}
 	drop := func(p *probe, cancelled bool) {
@@ -219,6 +242,9 @@ func speculativeSearch(cc *netlist.Circuit, ub int, opts Options, total *Stats, 
 		total.Add(p.stats)
 		if p.ok {
 			best = mid
+			if warm {
+				warmLabels = p.labels
+			}
 			hi = mid - 1
 		} else {
 			lo = mid + 1

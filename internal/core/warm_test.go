@@ -1,0 +1,116 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"turbosyn/internal/decomp"
+)
+
+// TestWarmStartMatchesCold is the correctness contract of the warm-started
+// binary search: seeding probes from the labels of the nearest feasible
+// probe must not change anything observable — same minimized phi, same
+// converged labels, same LUT count, byte-identical mapped netlist. Labels
+// are monotone non-increasing in phi, so the seed lower-bounds the probe's
+// fixpoint and the monotone iteration lands on the same fixpoint; this test
+// pins that argument (and the cold final mapping pass) across the golden
+// circuit matrix, sequentially and under the speculative parallel search.
+func TestWarmStartMatchesCold(t *testing.T) {
+	sawWarmStart := false
+	for _, tc := range goldenCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			c := tc.build()
+			if err := c.Check(); err != nil {
+				t.Fatal(err)
+			}
+			opts := DefaultOptions()
+			opts.K = tc.k
+			opts.Decompose = tc.decompose
+			if !c.IsKBounded(tc.k) {
+				var err error
+				if c, err = decomp.KBound(c, tc.k); err != nil {
+					t.Fatal(err)
+				}
+			}
+
+			opts.Workers = 1
+			opts.NoWarmStart = true
+			cold, err := Minimize(c, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			coldBLIF := blifBytes(t, cold.Mapped)
+
+			pools := []int{1, 4}
+			if testing.Short() {
+				pools = pools[:1]
+			}
+			for _, workers := range pools {
+				opts.Workers = workers
+				opts.NoWarmStart = false
+				warm, err := Minimize(c, opts)
+				if err != nil {
+					t.Fatalf("workers=%d: %v", workers, err)
+				}
+				if warm.Stats.WarmStarts > 0 {
+					sawWarmStart = true
+				}
+				if warm.Phi != cold.Phi {
+					t.Errorf("workers=%d: warm phi %d, cold %d", workers, warm.Phi, cold.Phi)
+				}
+				if warm.LUTs != cold.LUTs {
+					t.Errorf("workers=%d: warm LUTs %d, cold %d", workers, warm.LUTs, cold.LUTs)
+				}
+				for id := range cold.Labels {
+					if warm.Labels[id] != cold.Labels[id] {
+						t.Fatalf("workers=%d: warm label[%d] = %d, cold %d",
+							workers, id, warm.Labels[id], cold.Labels[id])
+					}
+				}
+				if !bytes.Equal(blifBytes(t, warm.Mapped), coldBLIF) {
+					t.Errorf("workers=%d: warm mapped netlist differs from cold", workers)
+				}
+			}
+		})
+	}
+	if !sawWarmStart {
+		t.Error("no golden search ever warm-started a probe; the seeding path is dead")
+	}
+}
+
+// TestWarmStartReducesSweeps pins the point of warm-starting: on a search
+// deep enough to probe below its first feasible phi, the warm search must
+// spend no more label iterations than the cold one, and must report the
+// probes it seeded.
+func TestWarmStartReducesSweeps(t *testing.T) {
+	c := fsmCircuit(7, 8, 5)()
+	opts := DefaultOptions()
+	opts.Workers = 1
+	if !c.IsKBounded(opts.K) {
+		var err error
+		if c, err = decomp.KBound(c, opts.K); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	opts.NoWarmStart = true
+	cold, err := Minimize(c, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.NoWarmStart = false
+	warm, err := Minimize(c, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Stats.WarmStarts == 0 {
+		t.Fatal("warm search seeded no probe")
+	}
+	if cold.Stats.WarmStarts != 0 {
+		t.Fatalf("cold search reports %d warm starts", cold.Stats.WarmStarts)
+	}
+	if warm.Stats.Iterations > cold.Stats.Iterations {
+		t.Errorf("warm search used %d iterations, cold only %d",
+			warm.Stats.Iterations, cold.Stats.Iterations)
+	}
+}

@@ -6,6 +6,10 @@
 // capacity), frontier replicas are fed by the source, and the root is the
 // sink. A cut of at most K candidates separating the frontier from the root
 // exists iff the max flow is at most K.
+//
+// An Arena holds the flow network and traversal scratch across calls: the
+// label computation runs one cut check per node per sweep, and a warm Arena
+// answers each check with zero heap allocation.
 package cut
 
 import (
@@ -23,14 +27,41 @@ type Result struct {
 	Cone []int
 }
 
+// Arena is the reusable scratch behind KCut/MinCut. A zero Arena is ready to
+// use. One Arena serves one goroutine; the *Result it returns aliases the
+// Arena's arrays and stays valid only until the next call on the same Arena.
+type Arena struct {
+	net   flow.Net
+	isCut []bool // indexed by replica id, cone-walk scratch
+	seen  []bool
+	res   Result
+}
+
 // KCut reports whether the expanded circuit admits a cut of at most k
 // candidate replicas separating the frontier from the root, and returns one
 // such cut of minimum size.
+//
+// This one-shot form allocates a fresh Arena; hot loops should hold an Arena
+// and call its KCut method instead.
 func KCut(x *expand.Expanded, k int) (*Result, bool) {
+	a := &Arena{}
+	return a.KCut(x, k)
+}
+
+// MinCut returns the minimum cut separating frontier from root regardless of
+// size, as long as it is at most limit (the paper bounds resynthesis cuts by
+// Cmax = 15). ok=false when even that is exceeded.
+func MinCut(x *expand.Expanded, limit int) (*Result, bool) {
+	return KCut(x, limit)
+}
+
+// KCut is the arena form of the package-level KCut.
+func (a *Arena) KCut(x *expand.Expanded, k int) (*Result, bool) {
 	n := len(x.Nodes)
 	// Network layout: in(i) = 2i, out(i) = 2i+1, s = 2n, t = 2n+1.
 	// The root's halves are unused; arcs into the root go to t.
-	net := flow.NewNet(2*n + 2)
+	net := &a.net
+	net.Reset(2*n + 2)
 	s, t := 2*n, 2*n+1
 	in := func(i int) int { return 2 * i }
 	out := func(i int) int { return 2*i + 1 }
@@ -45,6 +76,11 @@ func KCut(x *expand.Expanded, k int) (*Result, bool) {
 		}
 	}
 	for i := 0; i < n; i++ {
+		if x.Nodes[i].Frontier {
+			// Frontier replicas are supplied by the source; any fanins a
+			// looser re-marking left recorded play no role in the cut.
+			continue
+		}
 		for _, c := range x.Fanins[i] {
 			if i == expand.Root {
 				net.AddArc(out(c), t, flow.Inf)
@@ -57,25 +93,41 @@ func KCut(x *expand.Expanded, k int) (*Result, bool) {
 		return nil, false
 	}
 	reach := net.ResidualReach(s)
-	res := &Result{}
+	res := &a.res
+	res.Cut = res.Cut[:0]
 	for i := 1; i < n; i++ {
 		if x.Nodes[i].Candidate && reach[in(i)] && !reach[out(i)] {
 			res.Cut = append(res.Cut, i)
 		}
 	}
-	res.Cone = cone(x, res.Cut)
+	a.cone(x)
 	return res, true
 }
 
-// cone walks backward from the root, stopping at cut replicas, and returns
-// the interior in discovery order (root first).
-func cone(x *expand.Expanded, cut []int) []int {
-	isCut := make(map[int]bool, len(cut))
-	for _, c := range cut {
+// MinCut is the arena form of the package-level MinCut.
+func (a *Arena) MinCut(x *expand.Expanded, limit int) (*Result, bool) {
+	return a.KCut(x, limit)
+}
+
+// cone walks backward from the root, stopping at cut replicas, and fills
+// res.Cone with the interior in discovery order (root first).
+func (a *Arena) cone(x *expand.Expanded) {
+	n := len(x.Nodes)
+	if cap(a.isCut) < n {
+		a.isCut = make([]bool, n)
+		a.seen = make([]bool, n)
+	}
+	isCut := a.isCut[:n]
+	seen := a.seen[:n]
+	for i := 0; i < n; i++ {
+		isCut[i] = false
+		seen[i] = false
+	}
+	for _, c := range a.res.Cut {
 		isCut[c] = true
 	}
-	seen := map[int]bool{expand.Root: true}
-	order := []int{expand.Root}
+	seen[expand.Root] = true
+	order := append(a.res.Cone[:0], expand.Root)
 	for qi := 0; qi < len(order); qi++ {
 		for _, c := range x.Fanins[order[qi]] {
 			if !seen[c] && !isCut[c] {
@@ -84,12 +136,13 @@ func cone(x *expand.Expanded, cut []int) []int {
 			}
 		}
 	}
-	return order
+	a.res.Cone = order
 }
 
-// MinCut returns the minimum cut separating frontier from root regardless of
-// size, as long as it is at most limit (the paper bounds resynthesis cuts by
-// Cmax = 15). ok=false when even that is exceeded.
-func MinCut(x *expand.Expanded, limit int) (*Result, bool) {
-	return KCut(x, limit)
+// Bytes reports the approximate footprint of the Arena's retained arrays,
+// for arena high-water accounting.
+func (a *Arena) Bytes() int {
+	return a.net.Bytes() +
+		cap(a.isCut) + cap(a.seen) +
+		cap(a.res.Cut)*8 + cap(a.res.Cone)*8
 }

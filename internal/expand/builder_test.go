@@ -1,0 +1,198 @@
+package expand
+
+import (
+	"math/rand"
+	"testing"
+
+	"turbosyn/internal/netlist"
+)
+
+// pickTarget returns the last multi-fanin gate of c, or -1.
+func pickTarget(c *netlist.Circuit) int {
+	v := -1
+	for _, n := range c.Nodes {
+		if n.Kind == netlist.Gate && len(n.Fanins) > 0 {
+			v = n.ID
+		}
+	}
+	return v
+}
+
+func randomLabels(rng *rand.Rand, c *netlist.Circuit) []int {
+	labels := make([]int, c.NumNodes())
+	for _, n := range c.Nodes {
+		if n.Kind == netlist.Gate {
+			labels[n.ID] = 1 + rng.Intn(3)
+		}
+	}
+	return labels
+}
+
+// sameExpansion asserts the two expansions describe the same replica set
+// with identical candidate/frontier marks and, per replica, identical fanin
+// replica sequences (compared as (orig, w) pairs, since replica numbering
+// may differ).
+func sameExpansion(t *testing.T, tag string, got, want *Expanded) {
+	t.Helper()
+	if len(got.Nodes) != len(want.Nodes) {
+		t.Fatalf("%s: %d replicas, want %d", tag, len(got.Nodes), len(want.Nodes))
+	}
+	for i, wn := range want.Nodes {
+		j := got.Index(wn.Orig, wn.W)
+		if j < 0 {
+			t.Fatalf("%s: replica (%d,%d) missing", tag, wn.Orig, wn.W)
+		}
+		gn := got.Nodes[j]
+		if gn.Candidate != wn.Candidate || gn.Frontier != wn.Frontier {
+			t.Fatalf("%s: replica (%d,%d): candidate=%v frontier=%v, want %v/%v",
+				tag, wn.Orig, wn.W, gn.Candidate, gn.Frontier, wn.Candidate, wn.Frontier)
+		}
+		gf, wf := got.Fanins[j], want.Fanins[i]
+		if len(gf) != len(wf) {
+			t.Fatalf("%s: replica (%d,%d): %d fanins, want %d",
+				tag, wn.Orig, wn.W, len(gf), len(wf))
+		}
+		for k := range wf {
+			gc, wc := got.Nodes[gf[k]], want.Nodes[wf[k]]
+			if gc.Orig != wc.Orig || gc.W != wc.W {
+				t.Fatalf("%s: replica (%d,%d) fanin %d: (%d,%d), want (%d,%d)",
+					tag, wn.Orig, wn.W, k, gc.Orig, gc.W, wc.Orig, wc.W)
+			}
+		}
+	}
+}
+
+// TestBuilderMatchesOneShot: a reused Builder must reproduce the one-shot
+// Build exactly, including across circuits of different shapes and repeated
+// builds on the same Builder.
+func TestBuilderMatchesOneShot(t *testing.T) {
+	b := &Builder{}
+	opts := Options{LowDepth: 2, MaxNodes: 4000}
+	for seed := int64(0); seed < 30; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		c := randomLoopy(rng, 6+rng.Intn(18))
+		if c.Check() != nil {
+			continue
+		}
+		v := pickTarget(c)
+		if v < 0 {
+			continue
+		}
+		labels := randomLabels(rng, c)
+		for L := 0; L <= 3; L++ {
+			want, okW := Build(c, v, labels, 1, L, opts)
+			got, okG := b.Build(c, v, labels, 1, L, opts)
+			if okW != okG {
+				t.Fatalf("seed %d L=%d: builder ok=%v, one-shot ok=%v", seed, L, okG, okW)
+			}
+			if !okW {
+				continue
+			}
+			sameExpansion(t, "reuse", got, want)
+			// Replica numbering must also match: the Builder runs the same
+			// worklist in the same order, only the storage is recycled.
+			for i := range want.Nodes {
+				if got.Nodes[i] != want.Nodes[i] {
+					t.Fatalf("seed %d L=%d: node %d differs: %+v vs %+v",
+						seed, L, i, got.Nodes[i], want.Nodes[i])
+				}
+			}
+		}
+	}
+}
+
+// TestTightenMatchesFreshBuild: Tighten must extend the expansion to exactly
+// the replica set, candidate marks and frontier a fresh Build at the tighter
+// bound computes (replica numbering may differ).
+func TestTightenMatchesFreshBuild(t *testing.T) {
+	opts := Options{LowDepth: 2, MaxNodes: 4000}
+	for seed := int64(0); seed < 40; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		c := randomLoopy(rng, 6+rng.Intn(18))
+		if c.Check() != nil {
+			continue
+		}
+		v := pickTarget(c)
+		if v < 0 {
+			continue
+		}
+		labels := randomLabels(rng, c)
+		for L := 3; L >= 1; L-- {
+			b := &Builder{}
+			if _, ok := b.Build(c, v, labels, 1, L, opts); !ok {
+				continue
+			}
+			for newL := L - 1; newL >= L-3; newL-- {
+				want, okW := Build(c, v, labels, 1, newL, opts)
+				got, okG := b.Tighten(newL)
+				if okW != okG {
+					t.Fatalf("seed %d L=%d->%d: tighten ok=%v, fresh ok=%v",
+						seed, L, newL, okG, okW)
+				}
+				if !okW {
+					break
+				}
+				sameExpansion(t, "tighten", got, want)
+			}
+		}
+	}
+}
+
+// TestLoosenRemarks: Loosen must re-mark candidates by effective height
+// against the looser bound while leaving the expanded region in place.
+func TestLoosenRemarks(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	c := randomLoopy(rng, 20)
+	if err := c.Check(); err != nil {
+		t.Skip("unlucky generator draw")
+	}
+	v := pickTarget(c)
+	labels := randomLabels(rng, c)
+	const phi, L = 1, 1
+	b := &Builder{}
+	x, ok := b.Build(c, v, labels, phi, L, Options{LowDepth: 2, MaxNodes: 4000})
+	if !ok {
+		t.Fatal("build failed")
+	}
+	nodesBefore := len(x.Nodes)
+	x = b.Loosen(L + 1)
+	if len(x.Nodes) != nodesBefore {
+		t.Fatalf("Loosen changed the region: %d -> %d replicas", nodesBefore, len(x.Nodes))
+	}
+	for i, n := range x.Nodes {
+		if i == Root {
+			if n.Candidate {
+				t.Fatal("root must never be a candidate")
+			}
+			continue
+		}
+		eff := labels[n.Orig] - phi*n.W + 1
+		if n.Candidate != (eff <= L+1) {
+			t.Fatalf("replica (%d,%d): candidate=%v but eff=%d vs bound %d",
+				n.Orig, n.W, n.Candidate, eff, L+1)
+		}
+	}
+}
+
+// TestWarmBuilderZeroAlloc pins the arena property: repeating the same
+// expansion on a warm Builder allocates nothing.
+func TestWarmBuilderZeroAlloc(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	c := randomLoopy(rng, 25)
+	if err := c.Check(); err != nil {
+		t.Skip("unlucky generator draw")
+	}
+	v := pickTarget(c)
+	labels := randomLabels(rng, c)
+	opts := Options{LowDepth: 2, MaxNodes: 4000}
+	b := &Builder{}
+	build := func() {
+		if _, ok := b.Build(c, v, labels, 1, 2, opts); !ok {
+			t.Fatal("build failed")
+		}
+	}
+	build() // warm up
+	if allocs := testing.AllocsPerRun(100, build); allocs != 0 {
+		t.Fatalf("warm Builder.Build allocates %.1f objects/run, want 0", allocs)
+	}
+}

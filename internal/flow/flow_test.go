@@ -141,6 +141,69 @@ func TestMaxFlowMinCutQuick(t *testing.T) {
 	}
 }
 
+// TestResetReuse rebuilds different networks in one Net and checks the
+// verdicts match fresh networks: Reset must fully erase earlier arcs, flows
+// and scratch.
+func TestResetReuse(t *testing.T) {
+	n := NewNet(4)
+	n.AddArc(0, 1, Inf)
+	n.AddArc(1, 2, 1)
+	n.AddArc(2, 3, Inf)
+	if f := n.MaxFlowUpTo(0, 3, 10); f != 1 {
+		t.Fatalf("first build: flow = %d, want 1", f)
+	}
+	// Smaller network, different topology.
+	n.Reset(3)
+	n.AddArc(0, 1, 2)
+	n.AddArc(1, 2, 2)
+	if f := n.MaxFlowUpTo(0, 2, 10); f != 2 {
+		t.Fatalf("after Reset: flow = %d, want 2", f)
+	}
+	reach := n.ResidualReach(0)
+	if !reach[0] || reach[1] || reach[2] {
+		t.Fatalf("after Reset: residual reach wrong: %v", reach)
+	}
+	// Larger than the original, exercising regrowth.
+	n.Reset(6)
+	for v := 1; v <= 4; v++ {
+		n.AddArc(0, v, 1)
+		n.AddArc(v, 5, 1)
+	}
+	if f := n.MaxFlowUpTo(0, 5, 10); f != 4 {
+		t.Fatalf("after regrow: flow = %d, want 4", f)
+	}
+}
+
+// TestWarmNetZeroAlloc pins the arena property: once a Net has been through
+// one build/solve cycle at a given size, repeating the cycle allocates
+// nothing.
+func TestWarmNetZeroAlloc(t *testing.T) {
+	n := NewNet(8)
+	cycle := func() {
+		n.Reset(8)
+		for v := 1; v <= 6; v++ {
+			n.AddArc(0, v, 1)
+			n.AddArc(v, 7, 1)
+		}
+		if f := n.MaxFlowUpTo(0, 7, 4); f != 5 {
+			t.Fatalf("flow = %d, want limit+1 = 5", f)
+		}
+		n.Reset(8)
+		for v := 1; v <= 6; v++ {
+			n.AddArc(0, v, 1)
+			n.AddArc(v, 7, 1)
+		}
+		if f := n.MaxFlowUpTo(0, 7, 10); f != 6 {
+			t.Fatalf("flow = %d, want 6", f)
+		}
+		_ = n.ResidualReach(0)
+	}
+	cycle() // warm up
+	if allocs := testing.AllocsPerRun(100, cycle); allocs != 0 {
+		t.Fatalf("warm Net cycle allocates %.1f objects/run, want 0", allocs)
+	}
+}
+
 func TestAddNode(t *testing.T) {
 	n := NewNet(1)
 	a := n.AddNode()

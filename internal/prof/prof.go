@@ -1,0 +1,55 @@
+// Package prof attributes mapper time to its stages via runtime/pprof
+// goroutine labels. CPU profiles taken with -cpuprofile then break down by
+// the "phase" label: expand (E_v construction), flow (K-cut max-flow),
+// decompose (Roth–Karp resynthesis), pld (positive loop detection) and label
+// (everything else in the sweep).
+//
+// Labelling sits inside the zero-allocation hot path, so it is disabled by
+// default and costs one predictable-branch check per phase switch. Enable
+// flips to pre-built label sets: no allocation happens per call even when
+// profiling (the label contexts are constructed once).
+package prof
+
+import (
+	"context"
+	"runtime/pprof"
+)
+
+// Phase names used by the label engine.
+const (
+	PhaseLabel     = "label"
+	PhaseExpand    = "expand"
+	PhaseFlow      = "flow"
+	PhaseDecompose = "decompose"
+	PhasePLD       = "pld"
+)
+
+var enabled bool
+
+var phaseCtx = map[string]context.Context{}
+
+func init() {
+	for _, name := range []string{PhaseLabel, PhaseExpand, PhaseFlow, PhaseDecompose, PhasePLD} {
+		phaseCtx[name] = pprof.WithLabels(context.Background(),
+			pprof.Labels("phase", name))
+	}
+}
+
+// Enable turns phase labelling on (or off). Not safe to toggle while label
+// sweeps run; call it before Synthesize/Minimize, as cmd/turbosyn does when
+// -cpuprofile is set.
+func Enable(on bool) { enabled = on }
+
+// Enabled reports whether phase labelling is on.
+func Enabled() bool { return enabled }
+
+// Phase tags the calling goroutine with the named phase until the next Phase
+// call. A no-op (one branch, zero allocation) when labelling is disabled.
+func Phase(name string) {
+	if !enabled {
+		return
+	}
+	if ctx, ok := phaseCtx[name]; ok {
+		pprof.SetGoroutineLabels(ctx)
+	}
+}

@@ -109,6 +109,10 @@ type Options struct {
 	// runtime.NumCPU(), 1 forces the sequential path. Results are
 	// bit-identical for every setting.
 	Workers int
+	// NoWarmStart disables seeding the phi search's probes from
+	// already-decided probes. Results are identical either way; the flag
+	// benchmarks cold probes (see core.Options.NoWarmStart).
+	NoWarmStart bool
 	// Advanced tuning; zero values mean the paper's settings.
 	Cmax     int
 	MaxH     int
@@ -175,15 +179,16 @@ func Synthesize(c *Circuit, o Options) (*Result, error) {
 		res, err = mapper.FlowSYNS(work, o.K)
 	default:
 		opts := core.Options{
-			K:         o.K,
-			Cmax:      o.Cmax,
-			MaxH:      o.MaxH,
-			LowDepth:  o.LowDepth,
-			Decompose: o.Algorithm == TurboSYN,
-			PLD:       !o.NoPLD,
-			Pipelined: o.Objective == MinRatio,
-			Relax:     !o.NoRelax,
-			Workers:   o.Workers,
+			K:           o.K,
+			Cmax:        o.Cmax,
+			MaxH:        o.MaxH,
+			LowDepth:    o.LowDepth,
+			Decompose:   o.Algorithm == TurboSYN,
+			PLD:         !o.NoPLD,
+			Pipelined:   o.Objective == MinRatio,
+			Relax:       !o.NoRelax,
+			Workers:     o.Workers,
+			NoWarmStart: o.NoWarmStart,
 		}
 		res, err = core.Minimize(work, opts)
 	}
