@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test test-full race bench-smoke
+.PHONY: build test test-full race bench-smoke bench-scale
 
 # Compile everything and vet it.
 build:
@@ -26,8 +26,19 @@ race:
 # One iteration of the PLD, scaling and warm/cold-probe benchmarks; sanity,
 # not statistics. The Scale benchmarks run j1/jN sub-benchmarks, so the
 # output shows the parallel engine's speedup on whatever machine ran them.
-# The text log is also rendered to BENCH_labels.json (ns/op, allocs/op and
-# custom metrics per benchmark) for machine consumption.
+# The text log is rendered to BENCH_new.json and gated against the committed
+# BENCH_labels.json by `benchjson -delta` (per-benchmark ns/op and B/op
+# ratios; generous time threshold because runners differ, tighter bytes
+# threshold because allocation is machine-independent) before replacing it.
 bench-smoke:
-	$(GO) test -bench 'BenchmarkPLD|BenchmarkScale1k|BenchmarkWarmProbes|BenchmarkColdProbes' -benchtime 1x -benchmem -run '^$$' -timeout 20m . | tee bench-smoke.txt
-	$(GO) run ./cmd/benchjson -o BENCH_labels.json < bench-smoke.txt
+	$(GO) test -bench 'BenchmarkPLD|BenchmarkScale1k|BenchmarkPipeline4k|BenchmarkWarmProbes|BenchmarkColdProbes' -benchtime 1x -benchmem -run '^$$' -timeout 20m . | tee bench-smoke.txt
+	$(GO) run ./cmd/benchjson -o BENCH_new.json < bench-smoke.txt
+	$(GO) run ./cmd/benchjson -delta -max-time-ratio 3.0 -max-bytes-ratio 1.5 BENCH_labels.json BENCH_new.json
+	mv BENCH_new.json BENCH_labels.json
+
+# Scheduler scaling only: the Scale1k and deep-pipeline Pipeline4k j1-vs-jN
+# pairs, rendered to BENCH_scale.json. On a multi-core runner the jN numbers
+# must beat j1 — this is the artifact that shows whether they do.
+bench-scale:
+	$(GO) test -bench 'BenchmarkScale1k|BenchmarkPipeline4k' -benchtime 1x -benchmem -run '^$$' -timeout 30m . | tee bench-scale.txt
+	$(GO) run ./cmd/benchjson -o BENCH_scale.json < bench-scale.txt

@@ -6,6 +6,12 @@
 // Usage:
 //
 //	go test -bench . -benchmem . | benchjson -o BENCH_labels.json
+//	benchjson -delta old.json new.json
+//
+// Delta mode compares two such documents benchmark by benchmark, printing
+// the new/old ratio of ns/op and B/op for every shared name, and exits
+// nonzero when any ratio exceeds its threshold (-max-time-ratio,
+// -max-bytes-ratio) — the CI regression gate of `make bench-smoke`.
 package main
 
 import (
@@ -80,9 +86,114 @@ func Parse(r io.Reader) (*Doc, error) {
 	return doc, nil
 }
 
+// DeltaRow is one benchmark's old-vs-new comparison. Ratios are new/old;
+// a ratio is 0 when the metric is absent on either side (nothing to gate).
+type DeltaRow struct {
+	Name       string
+	TimeRatio  float64 // ns/op new/old
+	BytesRatio float64 // B/op new/old
+	OnlyIn     string  // "old" or "new" when the name is not shared, else ""
+}
+
+// ratio returns new/old for one metric, or 0 when it cannot be formed.
+func ratio(oldM, newM map[string]float64, unit string) float64 {
+	o, okO := oldM[unit]
+	n, okN := newM[unit]
+	if !okO || !okN || o <= 0 {
+		return 0
+	}
+	return n / o
+}
+
+// Delta pairs the two documents' benchmarks by name, in the new document's
+// order, with old-only names appended.
+func Delta(oldDoc, newDoc *Doc) []DeltaRow {
+	oldByName := make(map[string]Benchmark, len(oldDoc.Benchmarks))
+	for _, b := range oldDoc.Benchmarks {
+		oldByName[b.Name] = b
+	}
+	seen := make(map[string]bool, len(newDoc.Benchmarks))
+	var rows []DeltaRow
+	for _, nb := range newDoc.Benchmarks {
+		seen[nb.Name] = true
+		ob, ok := oldByName[nb.Name]
+		if !ok {
+			rows = append(rows, DeltaRow{Name: nb.Name, OnlyIn: "new"})
+			continue
+		}
+		rows = append(rows, DeltaRow{
+			Name:       nb.Name,
+			TimeRatio:  ratio(ob.Metrics, nb.Metrics, "ns/op"),
+			BytesRatio: ratio(ob.Metrics, nb.Metrics, "B/op"),
+		})
+	}
+	for _, ob := range oldDoc.Benchmarks {
+		if !seen[ob.Name] {
+			rows = append(rows, DeltaRow{Name: ob.Name, OnlyIn: "old"})
+		}
+	}
+	return rows
+}
+
+// FormatDelta renders the comparison table and returns the number of rows
+// whose ratio exceeds its threshold (0 disables a gate). Regressing rows
+// are marked REGRESSED.
+func FormatDelta(w io.Writer, rows []DeltaRow, maxTime, maxBytes float64) (regressions int) {
+	fmt.Fprintf(w, "%-44s %12s %12s\n", "benchmark", "ns/op new/old", "B/op new/old")
+	for _, r := range rows {
+		if r.OnlyIn != "" {
+			fmt.Fprintf(w, "%-44s only in %s\n", r.Name, r.OnlyIn)
+			continue
+		}
+		bad := (maxTime > 0 && r.TimeRatio > maxTime) ||
+			(maxBytes > 0 && r.BytesRatio > maxBytes)
+		mark := ""
+		if bad {
+			mark = "  REGRESSED"
+			regressions++
+		}
+		fmt.Fprintf(w, "%-44s %13.3f %12.3f%s\n", r.Name, r.TimeRatio, r.BytesRatio, mark)
+	}
+	return regressions
+}
+
+func loadDoc(path string) (*Doc, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var doc Doc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &doc, nil
+}
+
 func main() {
 	out := flag.String("o", "", "output file (default stdout)")
+	delta := flag.Bool("delta", false, "compare two benchmark JSON files: benchjson -delta old.json new.json")
+	maxTime := flag.Float64("max-time-ratio", 3.0, "delta mode: fail when ns/op grows beyond this new/old ratio (0 disables)")
+	maxBytes := flag.Float64("max-bytes-ratio", 1.5, "delta mode: fail when B/op grows beyond this new/old ratio (0 disables)")
 	flag.Parse()
+
+	if *delta {
+		if flag.NArg() != 2 {
+			fatal(fmt.Errorf("-delta needs exactly two files, got %d", flag.NArg()))
+		}
+		oldDoc, err := loadDoc(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		newDoc, err := loadDoc(flag.Arg(1))
+		if err != nil {
+			fatal(err)
+		}
+		if n := FormatDelta(os.Stdout, Delta(oldDoc, newDoc), *maxTime, *maxBytes); n > 0 {
+			fatal(fmt.Errorf("%d benchmark(s) regressed beyond thresholds (ns/op > %gx or B/op > %gx)",
+				n, *maxTime, *maxBytes))
+		}
+		return
+	}
 
 	doc, err := Parse(os.Stdin)
 	if err != nil {

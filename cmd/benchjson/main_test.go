@@ -50,3 +50,77 @@ func TestParse(t *testing.T) {
 		t.Errorf("scale allocs/op = %v", doc.Benchmarks[1].Metrics["allocs/op"])
 	}
 }
+
+func bm(name string, ns, bytes float64) Benchmark {
+	return Benchmark{Name: name, N: 1, Metrics: map[string]float64{"ns/op": ns, "B/op": bytes}}
+}
+
+func TestDeltaPairsAndRatios(t *testing.T) {
+	oldDoc := &Doc{Benchmarks: []Benchmark{
+		bm("A", 100, 1000),
+		bm("Gone", 50, 10),
+	}}
+	newDoc := &Doc{Benchmarks: []Benchmark{
+		bm("A", 150, 500),
+		bm("Fresh", 70, 70),
+	}}
+	rows := Delta(oldDoc, newDoc)
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows, want 3", len(rows))
+	}
+	a := rows[0]
+	if a.Name != "A" || a.TimeRatio != 1.5 || a.BytesRatio != 0.5 || a.OnlyIn != "" {
+		t.Fatalf("row A = %+v", a)
+	}
+	if rows[1].Name != "Fresh" || rows[1].OnlyIn != "new" {
+		t.Fatalf("row Fresh = %+v", rows[1])
+	}
+	if rows[2].Name != "Gone" || rows[2].OnlyIn != "old" {
+		t.Fatalf("row Gone = %+v", rows[2])
+	}
+}
+
+func TestDeltaMissingMetricIsNotGated(t *testing.T) {
+	oldDoc := &Doc{Benchmarks: []Benchmark{
+		{Name: "A", N: 1, Metrics: map[string]float64{"iters": 5}},
+	}}
+	newDoc := &Doc{Benchmarks: []Benchmark{
+		{Name: "A", N: 1, Metrics: map[string]float64{"ns/op": 1e9, "iters": 9}},
+	}}
+	rows := Delta(oldDoc, newDoc)
+	if rows[0].TimeRatio != 0 || rows[0].BytesRatio != 0 {
+		t.Fatalf("missing metrics must give zero ratios, got %+v", rows[0])
+	}
+	var buf strings.Builder
+	if n := FormatDelta(&buf, rows, 1.1, 1.1); n != 0 {
+		t.Fatalf("ungated row counted as regression:\n%s", buf.String())
+	}
+}
+
+func TestFormatDeltaFlagsRegressions(t *testing.T) {
+	rows := []DeltaRow{
+		{Name: "Fast", TimeRatio: 0.8, BytesRatio: 1.0},
+		{Name: "SlowTime", TimeRatio: 3.5, BytesRatio: 1.0},
+		{Name: "FatBytes", TimeRatio: 1.0, BytesRatio: 2.0},
+		{Name: "New", OnlyIn: "new"},
+	}
+	var buf strings.Builder
+	n := FormatDelta(&buf, rows, 3.0, 1.5)
+	if n != 2 {
+		t.Fatalf("regressions = %d, want 2:\n%s", n, buf.String())
+	}
+	out := buf.String()
+	if !strings.Contains(out, "SlowTime") || !strings.Contains(out, "REGRESSED") {
+		t.Fatalf("output lacks regression marks:\n%s", out)
+	}
+	if strings.Count(out, "REGRESSED") != 2 {
+		t.Fatalf("want exactly 2 REGRESSED marks:\n%s", out)
+	}
+	if !strings.Contains(out, "only in new") {
+		t.Fatalf("new-only benchmark not reported:\n%s", out)
+	}
+	// Disabled gates (0) must never fire.
+	if n := FormatDelta(&strings.Builder{}, rows, 0, 0); n != 0 {
+		t.Fatalf("disabled thresholds still flagged %d rows", n)
+	}
+}

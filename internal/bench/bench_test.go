@@ -149,6 +149,47 @@ func TestFSMGenerator(t *testing.T) {
 	}
 }
 
+func TestPipelineShape(t *testing.T) {
+	const lanes, depth, regEvery = 8, 64, 8
+	c := Pipeline("pipe", lanes, depth, regEvery)
+	if err := c.Check(); err != nil {
+		t.Fatal(err)
+	}
+	if g := c.NumGates(); g != lanes*depth {
+		t.Fatalf("gate count %d, want %d", g, lanes*depth)
+	}
+	if c.NumFFs() == 0 {
+		t.Fatal("pipeline has no register banks")
+	}
+	if !c.IsKBounded(2) {
+		t.Fatalf("not 2-bounded (max fanin %d)", c.MaxFanin())
+	}
+	// The defining property: fully acyclic, so every SCC is a trivial
+	// singleton and the condensation is a deep, narrow DAG — the shape that
+	// starves level-synchronized scheduling.
+	s := graph.StronglyConnected(c.Adj())
+	for comp := range s.Members {
+		if !s.IsTrivial(c.Adj(), comp) {
+			t.Fatalf("component %d is nontrivial; pipeline must be acyclic", comp)
+		}
+	}
+	levels := s.Levels()
+	maxLevel := 0
+	for _, l := range levels {
+		if l > maxLevel {
+			maxLevel = l
+		}
+	}
+	if maxLevel < depth {
+		t.Fatalf("condensation depth %d, want >= stage count %d", maxLevel, depth)
+	}
+	// Determinism: same arguments, same netlist.
+	d := Pipeline("pipe", lanes, depth, regEvery)
+	if d.NumNodes() != c.NumNodes() || d.NumFFs() != c.NumFFs() {
+		t.Fatal("Pipeline not deterministic")
+	}
+}
+
 func TestMixedGraftWellFormed(t *testing.T) {
 	for _, cs := range Suite() {
 		if cs.Name != "s1423" && cs.Name != "s5378" {

@@ -180,6 +180,58 @@ func Accumulator(name string, width int, taps []int) *netlist.Circuit {
 	return c
 }
 
+// Pipeline builds a deep feed-forward pipeline: `lanes` parallel chains of
+// 2-input gates, `depth` stages long, with nearest-neighbour cross-links
+// and a register bank every regEvery stages. The circuit is acyclic, so its
+// SCC condensation is lanes*depth singleton components arranged in depth
+// dependency ranks of only `lanes` components each — the exact shape that
+// pathologizes level-synchronized scheduling (hundreds of near-empty
+// levels, one barrier per stage) and that a dataflow scheduler with grain
+// batching turns into long inline chains. Deterministic in its arguments.
+func Pipeline(name string, lanes, depth, regEvery int) *netlist.Circuit {
+	if lanes < 2 {
+		lanes = 2
+	}
+	if depth < 1 {
+		depth = 1
+	}
+	if regEvery < 1 {
+		regEvery = 1
+	}
+	c := netlist.NewCircuit(name)
+	prev := make([]int, lanes)
+	for l := range prev {
+		prev[l] = c.AddPI(fmt.Sprintf("in%d", l))
+	}
+	cur := make([]int, lanes)
+	for t := 1; t <= depth; t++ {
+		w := 0
+		if t%regEvery == 0 {
+			w = 1 // register bank: every stage-t input edge carries one FF
+		}
+		for l := 0; l < lanes; l++ {
+			var fn *logic.TT
+			switch (t + l) % 3 {
+			case 0:
+				fn = logic.AndAll(2)
+			case 1:
+				fn = logic.XorAll(2)
+			default:
+				fn = logic.OrAll(2)
+			}
+			cur[l] = c.AddGate(fmt.Sprintf("p%d_%d", t, l), fn,
+				netlist.Fanin{From: prev[l], Weight: w},
+				netlist.Fanin{From: prev[(l+1)%lanes], Weight: w})
+		}
+		prev, cur = cur, prev
+	}
+	for l := 0; l < lanes; l++ {
+		c.AddPO(fmt.Sprintf("po%d", l), prev[l], 0)
+	}
+	c.InvalidateCaches()
+	return c
+}
+
 // LFSR builds a Galois LFSR of the given width with XOR taps; a light
 // sequential circuit whose loops map at ratio 1 (a sanity anchor in the
 // suite).

@@ -77,11 +77,19 @@ type Options struct {
 	// speculative probe fan-out of the binary search: 0 means
 	// runtime.NumCPU(), 1 forces the strictly sequential path. Every
 	// setting computes bit-identical labels, covers and verdicts (see
-	// DESIGN.md, "Level-scheduled concurrency"); only the Stats work
+	// DESIGN.md, "Dataflow scheduling"); only the Stats work
 	// counters of infeasible probes may vary with scheduling. A positive
 	// IterBudget implies sequential execution regardless of Workers, so
 	// budget accounting stays globally ordered.
 	Workers int
+	// TaskGrain is the dataflow scheduler's batching target, in node
+	// updates per task: when a worker completes a component and releases a
+	// trivial successor (a singleton, acyclic component), it keeps running
+	// such successors inline until roughly TaskGrain node updates have been
+	// chained, instead of paying queue dispatch per tiny component. 0 means
+	// the default (64); 1 effectively disables chaining. Pure scheduling —
+	// results are bit-identical for every setting.
+	TaskGrain int
 }
 
 func (o Options) withDefaults() Options {
@@ -100,8 +108,18 @@ func (o Options) withDefaults() Options {
 	case o.LowDepth == 0:
 		o.LowDepth = 3
 	}
+	if o.TaskGrain <= 0 {
+		o.TaskGrain = defaultTaskGrain
+	}
 	return o
 }
+
+// defaultTaskGrain is the default Options.TaskGrain: chaining ~64 node
+// updates per dispatched task amortizes ready-queue traffic over the long
+// runs of near-singleton components real K-bounded condensations exhibit,
+// while staying far below a typical component level's total work, so load
+// balance is unaffected.
+const defaultTaskGrain = 64
 
 // workerCount resolves Workers to an effective pool size.
 func (o Options) workerCount() int {
@@ -136,13 +154,16 @@ type Stats struct {
 	WarmStarts     int // search probes seeded from a neighbouring probe's labels
 
 	// Concurrency counters (see Options.Workers and internal/stats).
-	Workers          int // effective worker-pool size (1 = sequential)
-	LevelWaves       int // parallel level barriers executed
-	ParallelTasks    int // SCC tasks executed by pool workers
-	CacheShardHits   int // sharded decomposition-cache hits
-	CacheShardMisses int // sharded decomposition-cache misses
-	ProbesLaunched   int // feasibility probes started by the search
-	ProbesCancelled  int // speculative probes cancelled (lost branch)
+	Workers            int // effective worker-pool size (1 = sequential)
+	ParallelTasks      int // SCC tasks pulled from the dataflow ready queue
+	InlineTasks        int // trivial components chained inline (TaskGrain batching)
+	QueueDepthPeak     int // ready-queue depth high-water mark
+	WorkerOccupancy    int // peak simultaneously busy pool workers
+	BarriersEliminated int // level barriers the dataflow scheduler avoided
+	CacheShardHits     int // sharded decomposition-cache hits
+	CacheShardMisses   int // sharded decomposition-cache misses
+	ProbesLaunched     int // feasibility probes started by the search
+	ProbesCancelled    int // speculative probes cancelled (lost branch)
 }
 
 // Add accumulates s2 into s.
@@ -162,8 +183,15 @@ func (s *Stats) Add(s2 Stats) {
 	if s2.Workers > s.Workers {
 		s.Workers = s2.Workers
 	}
-	s.LevelWaves += s2.LevelWaves
 	s.ParallelTasks += s2.ParallelTasks
+	s.InlineTasks += s2.InlineTasks
+	if s2.QueueDepthPeak > s.QueueDepthPeak {
+		s.QueueDepthPeak = s2.QueueDepthPeak
+	}
+	if s2.WorkerOccupancy > s.WorkerOccupancy {
+		s.WorkerOccupancy = s2.WorkerOccupancy
+	}
+	s.BarriersEliminated += s2.BarriersEliminated
 	s.CacheShardHits += s2.CacheShardHits
 	s.CacheShardMisses += s2.CacheShardMisses
 	s.ProbesLaunched += s2.ProbesLaunched
@@ -176,8 +204,15 @@ func (s *Stats) fold(cs stats.ConcurrencySnapshot) {
 	if cs.Workers > s.Workers {
 		s.Workers = cs.Workers
 	}
-	s.LevelWaves += cs.LevelWaves
 	s.ParallelTasks += cs.Tasks
+	s.InlineTasks += cs.InlineRuns
+	if cs.QueueDepthPeak > s.QueueDepthPeak {
+		s.QueueDepthPeak = cs.QueueDepthPeak
+	}
+	if cs.BusyWorkersPeak > s.WorkerOccupancy {
+		s.WorkerOccupancy = cs.BusyWorkersPeak
+	}
+	s.BarriersEliminated += cs.BarriersEliminated
 	s.CacheShardHits += cs.CacheHits
 	s.CacheShardMisses += cs.CacheMisses
 	s.ProbesLaunched += cs.ProbesLaunched

@@ -32,9 +32,11 @@ type state struct {
 	labels []int
 	order  []int // combinational topological order (good sweep order)
 	sccs   *graph.SCCs
-	// levels is the longest-path layering of the condensation: components
-	// sharing a level are independent, which is what the parallel scheduler
-	// exploits and what keeps sccIsolated race-free (see below).
+	// levels is the longest-path layering of the condensation. The
+	// sequential sweep uses it to bound sccIsolated's predecessor walk (on
+	// that path "lower level" does imply "finished"); the dataflow
+	// scheduler counts the level waves it no longer waits on
+	// (Stats.BarriersEliminated) and gates the walk on compDone instead.
 	levels []int
 	// memberOrder lists each component's members in comb topo order.
 	memberOrder [][]int
@@ -68,6 +70,15 @@ type state struct {
 	// failed flags an infeasible component so sibling workers stop pumping
 	// labels that no longer matter. Reset at the top of every run.
 	failed atomic.Bool
+	// compDone, non-nil only while the dataflow scheduler runs, flags
+	// components whose labels are final. The PLD walk reads it to restrict
+	// itself to finished components: under dataflow scheduling "strictly
+	// lower level" no longer implies "finished" (a lower-level non-ancestor
+	// may still be running), so the level rule of the sequential path would
+	// race. Completion is a superset of the component's ancestors — the
+	// only part of the graph the verdict depends on — so the restriction
+	// changes nothing observable (see sccIsolated).
+	compDone []atomic.Bool
 
 	// arenas holds the per-worker scratch of the label hot path (see
 	// arena.go): arena 0 serves the sequential sweep, arena w serves pool
@@ -211,10 +222,11 @@ const (
 
 // runComp iterates component comp to convergence. st receives the work
 // counters; in the sequential schedule it is the state's own stats, in the
-// parallel schedule a per-task accumulator merged after the level barrier.
-// ar is the calling worker's scratch arena; writes touch only the
-// component's members and the arena, so concurrent invocations on
-// same-level components with distinct arenas are disjoint.
+// parallel schedule a per-component accumulator merged in component-id
+// order after the run. ar is the calling worker's scratch arena; writes
+// touch only the component's members and the arena, so concurrent
+// invocations on dependency-free components with distinct arenas are
+// disjoint.
 func (s *state) runComp(comp int, st *Stats, ar *arena) compOutcome {
 	out := s.iterateComp(comp, st, ar)
 	if b := ar.bytes(); b > st.ArenaPeakBytes {
@@ -590,19 +602,30 @@ func projectConst(f *logic.TT, m int) *logic.TT {
 // l(u) - phi*w(e) + 1 >= l(v). Total isolation certifies a positive loop
 // (the paper's PLD, Theorem 2).
 //
-// The walk is restricted to the component itself and strictly lower
-// condensation levels. Support can only reach a member through the
-// member's ancestors, and every ancestor component sits at a strictly lower
-// level, so the restriction never changes the verdict — what it buys is
-// that the walk reads only labels that are final (lower levels) or owned by
-// this component, keeping the check race-free and schedule-independent
-// under the parallel scheduler.
+// The walk is restricted to the component itself plus components whose
+// labels are final: strictly lower condensation levels on the sequential
+// path, completed components (s.compDone) under the dataflow scheduler.
+// Either set is a superset of the component's ancestors, and support can
+// only reach a member through its ancestors — every edge into the
+// component comes from a direct predecessor, and by induction every path
+// into an ancestor stays within ancestors — so the extra allowed nodes can
+// pick up junk reach marks but never influence whether a member is
+// reached. The restriction therefore never changes the verdict; what it
+// buys is that the walk reads only labels that are final or owned by this
+// component, keeping the check race-free and schedule-independent.
 func (s *state) sccIsolated(comp int, ar *arena) bool {
 	n := s.c.NumNodes()
 	myLevel := s.levels[comp]
+	done := s.compDone
 	allowed := func(id int) bool {
 		c := s.sccs.Comp[id]
-		return c == comp || s.levels[c] < myLevel
+		if c == comp {
+			return true
+		}
+		if done != nil {
+			return done[c].Load()
+		}
+		return s.levels[c] < myLevel
 	}
 	if cap(ar.reach) < n {
 		ar.reach = make([]bool, n)

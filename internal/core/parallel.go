@@ -2,93 +2,223 @@ package core
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"turbosyn/internal/netlist"
 )
 
-// runParallel is the level-scheduled variant of run: components of the SCC
-// condensation are processed level-by-level (graph.SCCs.Levels), and within
-// a level a bounded worker pool iterates whole components concurrently. A
-// barrier separates levels, so when a component starts every label it can
-// read outside itself is final — exactly the invariant the sequential
-// topological sweep provides. Per-component state (labels, decision caches,
-// cover records) is written only by the worker owning the component, work
-// counters accumulate per task and merge after the barrier, and the shared
-// decomposition cache is keyed on full Decompose inputs — which together
-// make the parallel path bit-identical to the sequential one (the golden
-// equivalence test enforces this).
+// runParallel is the dataflow-scheduled variant of run: every component of
+// the SCC condensation carries an atomic count of unfinished predecessor
+// components, enters a bounded ready queue the moment that count hits zero,
+// and is executed by whichever pool worker pulls it — no level barriers
+// anywhere. The scheduler preserves exactly the invariant the barriers used
+// to provide: a component starts only after its last predecessor finished,
+// so every label it can read outside itself is final. Within a component
+// the unmodified sequential iteration runs, per-component state is written
+// only by the worker owning the component, work counters accumulate into
+// per-component Stats merged in component-id order after the run, and the
+// shared decomposition cache is keyed on full Decompose inputs — which
+// together keep the parallel path bit-identical to the sequential one (the
+// golden equivalence test enforces this).
+//
+// Real K-bounded condensations are dominated by long runs of near-singleton
+// components; to keep those from paying one queue round-trip each, a worker
+// that releases a trivial successor (singleton, acyclic) chains it inline
+// until roughly Options.TaskGrain node updates have accumulated, and only
+// then returns to the queue. Chaining is pure scheduling: an inline run is
+// exactly a push immediately followed by a pop by the same worker.
 func (s *state) runParallel() bool {
 	s.conc.SetWorkers(s.workers)
-	for _, group := range s.sccs.LevelGroups() {
-		// Skip components with nothing to iterate without paying pool
-		// dispatch; runComp would return immediately anyway.
-		tasks := group[:0:0]
-		for _, comp := range group {
-			for _, id := range s.memberOrder[comp] {
-				n := s.c.Nodes[id]
-				if n.Kind != netlist.PI && len(n.Fanins) > 0 {
-					tasks = append(tasks, comp)
+	nc := s.sccs.NumComps()
+
+	// Per-component work summary. A component with no updatable member
+	// (PIs, constant sources) is final from initialization and completes
+	// without dispatch; trivial components are eligible for inline
+	// chaining.
+	updates := make([]int, nc) // updatable members per component
+	trivial := make([]bool, nc)
+	workCount := 0
+	for comp := 0; comp < nc; comp++ {
+		members := s.memberOrder[comp]
+		for _, id := range members {
+			n := s.c.Nodes[id]
+			if n.Kind != netlist.PI && len(n.Fanins) > 0 {
+				updates[comp]++
+			}
+		}
+		if updates[comp] > 0 {
+			workCount++
+		}
+		if len(members) == 1 {
+			id := members[0]
+			self := false
+			for _, f := range s.c.Nodes[id].Fanins {
+				if f.From == id {
+					self = true
 					break
 				}
 			}
+			trivial[comp] = !self
 		}
-		if len(tasks) == 0 {
-			continue
-		}
-		if len(tasks) == 1 || s.workers == 1 {
-			if s.runComp(tasks[0], &s.stats, s.arenaFor(0)) != compConverged {
+	}
+	if workCount == 0 {
+		return s.checkOutputs()
+	}
+	workers := s.workers
+	if workers > workCount {
+		workers = workCount
+	}
+	if workers <= 1 {
+		// A single worker's dataflow order is the topological sweep; skip
+		// the queue machinery entirely.
+		ar := s.arenaFor(0)
+		for _, comp := range s.sccs.Order {
+			if s.runComp(comp, &s.stats, ar) != compConverged {
 				return false
 			}
-			continue
 		}
-		s.conc.AddLevelWave()
-		workers := s.workers
-		if workers > len(tasks) {
-			workers = len(tasks)
+		return s.checkOutputs()
+	}
+
+	// Record what the retired level-synchronized scheduler would have cost
+	// on this condensation: one barrier wait between consecutive levels
+	// that carry schedulable work.
+	workLevels := 0
+	levelSeen := make([]bool, nc)
+	for comp := 0; comp < nc; comp++ {
+		if updates[comp] > 0 && !levelSeen[s.levels[comp]] {
+			levelSeen[s.levels[comp]] = true
+			workLevels++
 		}
-		taskStats := make([]Stats, len(tasks))
-		outcomes := make([]compOutcome, len(tasks))
-		next := make(chan int)
-		var wg sync.WaitGroup
-		for w := 0; w < workers; w++ {
-			// Hand worker w its scratch arena before launch: arenaFor grows
-			// s.arenas, so it must not run concurrently. The level barrier
-			// below separates any two uses of the same arena.
-			ar := s.arenaFor(w)
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				for i := range next {
-					s.conc.AddTask()
-					out := s.runComp(tasks[i], &taskStats[i], ar)
-					outcomes[i] = out
-					if out == compInfeasible {
-						// Flag siblings so they stop pumping labels that
-						// no longer matter; the verdict is already false.
-						s.failed.Store(true)
-					}
+	}
+	s.conc.AddBarriersEliminated(workLevels - 1)
+
+	indeg := s.sccs.InDegrees()
+	pending := make([]atomic.Int32, nc)
+	for comp, deg := range indeg {
+		pending[comp].Store(int32(deg))
+	}
+	s.compDone = make([]atomic.Bool, nc)
+	taskStats := make([]Stats, nc)
+	var (
+		aborted   atomic.Bool
+		remaining atomic.Int64
+		busy      atomic.Int64
+	)
+	remaining.Store(int64(nc))
+	// Bounded ready queue: at most one slot per schedulable component, so
+	// enqueues never block and the close below cannot race a send.
+	ready := make(chan int, workCount)
+
+	// finish marks comp complete and releases its successors. Newly-ready
+	// components with no work complete on the spot (cascading); at most one
+	// trivial successor is kept back for inline chaining when the worker's
+	// grain budget allows; everything else enters the ready queue. Returns
+	// the inline component, or -1. When the last component completes, the
+	// queue is closed: every enqueue of a component happens before that
+	// component's own completion, so no send can follow the close.
+	finish := func(comp int, wantInline bool) int {
+		next := -1
+		stack := [...]int{comp}
+		cascade := stack[:1:1]
+		for len(cascade) > 0 {
+			c := cascade[len(cascade)-1]
+			cascade = cascade[:len(cascade)-1]
+			s.compDone[c].Store(true)
+			for _, d := range s.sccs.DAG[c] {
+				if pending[d].Add(-1) != 0 {
+					continue
 				}
-			}()
-		}
-		for i := range tasks {
-			next <- i
-		}
-		close(next)
-		wg.Wait()
-		// Merge work counters in task order. Integer sums are
-		// order-insensitive, so feasible runs report schedule-independent
-		// totals; on infeasible runs the amount of sibling work done
-		// before everyone noticed the failure does depend on timing.
-		failed := false
-		for i := range tasks {
-			s.stats.Add(taskStats[i])
-			if outcomes[i] != compConverged {
-				failed = true
+				switch {
+				case updates[d] == 0:
+					cascade = append(cascade, d)
+				case wantInline && next < 0 && trivial[d]:
+					next = d
+					s.conc.AddInlineRun()
+				default:
+					ready <- d
+					s.conc.ObserveQueueDepth(len(ready))
+				}
+			}
+			if remaining.Add(-1) == 0 {
+				close(ready)
 			}
 		}
-		if failed {
-			return false
+		return next
+	}
+
+	runOne := func(comp int, ar *arena) {
+		if s.stopped() {
+			// A sibling proved phi infeasible or the search cancelled the
+			// probe: stop pumping labels, but keep completing components so
+			// the queue drains and closes.
+			aborted.Store(true)
+			return
 		}
+		out := s.runComp(comp, &taskStats[comp], ar)
+		if out != compConverged {
+			aborted.Store(true)
+			if out == compInfeasible {
+				s.failed.Store(true)
+			}
+		}
+	}
+
+	// Seed the queue with the DAG roots in topological order before any
+	// worker starts. Roots have no predecessors, so no worker can ever
+	// release one: seeding from the initial in-degrees is the single
+	// dispatch each component gets (seeding from the live pending counters
+	// instead would race workers into double-dispatching a component whose
+	// predecessors complete mid-seed). No-work roots cascade through finish
+	// on the spot; the queue's capacity holds every schedulable component,
+	// so the sends cannot block.
+	for _, comp := range s.sccs.Order {
+		if indeg[comp] != 0 {
+			continue
+		}
+		if updates[comp] == 0 {
+			finish(comp, false)
+		} else {
+			ready <- comp
+			s.conc.ObserveQueueDepth(len(ready))
+		}
+	}
+	// Hand every worker its scratch arena before launch: arenaFor grows
+	// s.arenas, so it must not run concurrently. Workers are fixed
+	// goroutines for the whole run — there are no level boundaries left at
+	// which arenas could be re-issued — so arena w is used by exactly one
+	// goroutine from the first component to the last.
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		ar := s.arenaFor(w)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for comp := range ready {
+				s.conc.ObserveBusyWorkers(int(busy.Add(1)))
+				grain := 0
+				for comp >= 0 {
+					s.conc.AddTask()
+					runOne(comp, ar)
+					grain += updates[comp]
+					comp = finish(comp, grain < s.opts.TaskGrain)
+				}
+				busy.Add(-1)
+			}
+		}()
+	}
+	wg.Wait()
+
+	// Merge work counters in component-id order: deterministic by
+	// construction, not by commutativity arguments. (Integer sums are
+	// order-insensitive anyway on feasible runs; on infeasible runs the
+	// amount of sibling work done before everyone noticed the failure still
+	// depends on timing.)
+	for comp := 0; comp < nc; comp++ {
+		s.stats.Add(taskStats[comp])
+	}
+	if aborted.Load() {
+		return false
 	}
 	return s.checkOutputs()
 }

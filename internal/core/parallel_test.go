@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"fmt"
 	"math/rand"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -59,9 +60,10 @@ func blifBytes(t *testing.T, c *netlist.Circuit) []byte {
 
 // TestParallelMatchesSequentialGolden is the determinism contract of
 // Options.Workers: for every circuit, K and algorithm, the parallel engine
-// (level-scheduled label sweeps, shared sharded cache, speculative search)
-// must return the exact result of the sequential engine — same phi, same
-// converged labels, same LUT count, and a byte-identical mapped netlist.
+// (dataflow-scheduled label sweeps, shared sharded cache, speculative
+// search) must return the exact result of the sequential engine — same phi,
+// same converged labels, same LUT count, and a byte-identical mapped
+// netlist.
 func TestParallelMatchesSequentialGolden(t *testing.T) {
 	for _, tc := range goldenCases() {
 		t.Run(tc.name, func(t *testing.T) {
@@ -145,6 +147,72 @@ func TestFeasibleParallelMatchesSequential(t *testing.T) {
 		if got != want {
 			t.Errorf("phi=%d: parallel verdict %v, sequential %v", phi, got, want)
 		}
+	}
+}
+
+// TestSchedulerStressRandom hammers the dataflow scheduler (run under -race
+// via the CI race job): randomized FSM circuits, probes across the
+// feasibility boundary, worker counts {2, 8, GOMAXPROCS} and both TaskGrain
+// extremes, each checked for a verdict identical to the sequential probe
+// and — on feasible probes — bit-identical converged labels. Infeasible
+// probes abort mid-iteration, so their intermediate labels legitimately
+// depend on scheduling; only their verdict is pinned.
+func TestSchedulerStressRandom(t *testing.T) {
+	workerPools := []int{2, 8, runtime.GOMAXPROCS(0)}
+	grains := []int{1, 64}
+	seeds := []int64{11, 12, 13, 14}
+	if testing.Short() {
+		seeds = seeds[:2]
+	}
+	for _, seed := range seeds {
+		t.Run(fmt.Sprintf("fsm_s%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			c := bench.FSM(rng, fmt.Sprintf("stress_s%d", seed), bench.FSMSpec{
+				StateBits: 6, Inputs: 4, Outputs: 3, Cubes: 4, Span: 5,
+			})
+			base := DefaultOptions()
+			if !c.IsKBounded(base.K) {
+				var err error
+				if c, err = decomp.KBound(c, base.K); err != nil {
+					t.Fatal(err)
+				}
+			}
+			// One cache and counter set per circuit: the cache is keyed on
+			// full Decompose inputs, so sharing it across configurations
+			// cannot change any result.
+			conc := &stats.Concurrency{}
+			cache := newDecompCache(conc)
+			probe := func(phi, workers, grain int) (bool, []int) {
+				opts := base
+				opts.Workers = workers
+				opts.TaskGrain = grain
+				opts = opts.withDefaults()
+				s := newState(c, phi, opts)
+				s.attach(cache, conc, nil)
+				return s.run(), s.labels
+			}
+			for phi := 1; phi <= 4; phi++ {
+				wantOK, wantLabels := probe(phi, 1, 0)
+				for _, workers := range workerPools {
+					for _, grain := range grains {
+						gotOK, gotLabels := probe(phi, workers, grain)
+						if gotOK != wantOK {
+							t.Fatalf("phi=%d workers=%d grain=%d: verdict %v, sequential %v",
+								phi, workers, grain, gotOK, wantOK)
+						}
+						if !gotOK {
+							continue
+						}
+						for id := range wantLabels {
+							if gotLabels[id] != wantLabels[id] {
+								t.Fatalf("phi=%d workers=%d grain=%d: label[%d] = %d, sequential %d",
+									phi, workers, grain, id, gotLabels[id], wantLabels[id])
+							}
+						}
+					}
+				}
+			}
+		})
 	}
 }
 

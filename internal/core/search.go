@@ -115,6 +115,19 @@ func Minimize(c *netlist.Circuit, opts Options) (*Result, error) {
 	return res, nil
 }
 
+// warmUseful reports whether labels converged at seedPhi should seed a
+// probe at phi. Seeding is always sound (the seed lower-bounds the probe's
+// fixpoint), but its payoff decays with distance: far below seedPhi the
+// bound is loose while it still pushes the very first sweeps into large
+// expansions, where K-cut checks are most expensive — on small circuits a
+// distant infeasible probe runs measurably slower warm than cold (bbara's
+// TurboMap probe at phi=1 seeded from phi=3 nearly doubles its cut checks).
+// Probes within a factor of two of their seed keep the measured benefit, so
+// the gate skips only the far ones.
+func warmUseful(phi, seedPhi int) bool {
+	return 2*phi >= seedPhi
+}
+
 // minimizeSearch binary-searches the smallest feasible phi in [1, ub].
 // ub must be feasible. The accumulated statistics cover exactly the probes
 // on the canonical binary-search path, so totals match the sequential
@@ -128,13 +141,14 @@ func minimizeSearch(cc *netlist.Circuit, ub int, opts Options, total *Stats, cac
 	// far, so the best probe's converged labels always qualify as a seed.
 	warm := !opts.NoWarmStart && opts.IterBudget <= 0
 	var warmLabels []int
+	warmPhi := 0
 	lo, hi := 1, ub
 	best := -1
 	for lo <= hi {
 		mid := (lo + hi) / 2
 		s := newState(cc, mid, opts)
 		s.attach(cache, conc, nil)
-		if warm && warmLabels != nil {
+		if warm && warmLabels != nil && warmUseful(mid, warmPhi) {
 			s.seedLabels(warmLabels)
 		}
 		conc.AddProbeLaunched()
@@ -142,7 +156,7 @@ func minimizeSearch(cc *netlist.Circuit, ub int, opts Options, total *Stats, cac
 		total.Add(s.stats)
 		if ok {
 			best = mid
-			warmLabels = s.labels
+			warmLabels, warmPhi = s.labels, mid
 			hi = mid - 1
 		} else {
 			lo = mid + 1
@@ -189,12 +203,14 @@ func speculativeSearch(cc *netlist.Circuit, ub int, opts Options, total *Stats, 
 
 	// Warm-start store: every launch targets a phi at or below hi, which is
 	// strictly below the best feasible probe accepted so far, so the latest
-	// accepted probe's labels always qualify as a seed. The store is read
+	// accepted probe's labels always qualify as a seed (subject to the same
+	// warmUseful distance gate as the sequential search). The store is read
 	// and written only on this goroutine (launches and accepts both happen
 	// in the search loop), and a stored slice is never mutated again — the
 	// probe that produced it has finished and seeding copies it.
 	warm := !opts.NoWarmStart
 	var warmLabels []int
+	warmPhi := 0
 
 	running := make(map[int]*probe)
 	launch := func(phi int) {
@@ -205,6 +221,9 @@ func speculativeSearch(cc *netlist.Circuit, ub int, opts Options, total *Stats, 
 		running[phi] = p
 		conc.AddProbeLaunched()
 		seed := warmLabels
+		if !warmUseful(phi, warmPhi) {
+			seed = nil
+		}
 		go func() {
 			defer close(p.done)
 			s := newState(cc, phi, popts)
@@ -243,7 +262,7 @@ func speculativeSearch(cc *netlist.Circuit, ub int, opts Options, total *Stats, 
 		if p.ok {
 			best = mid
 			if warm {
-				warmLabels = p.labels
+				warmLabels, warmPhi = p.labels, mid
 			}
 			hi = mid - 1
 		} else {

@@ -3,36 +3,60 @@ package stats
 import "sync/atomic"
 
 // Concurrency accumulates scheduler-level counters of a parallel synthesis
-// run: worker-pool sizing, level-barrier waves, sharded-cache traffic and
-// speculative-probe outcomes. All methods are safe for concurrent use from
-// any number of worker goroutines; read consistent totals with Snapshot
-// after the run (or between barriers).
+// run: worker-pool sizing, dataflow ready-queue behaviour, sharded-cache
+// traffic and speculative-probe outcomes. All methods are safe for
+// concurrent use from any number of worker goroutines; read consistent
+// totals with Snapshot after the run.
 type Concurrency struct {
-	workers         atomic.Int64
-	levelWaves      atomic.Int64
-	tasks           atomic.Int64
-	cacheHits       atomic.Int64
-	cacheMisses     atomic.Int64
-	probesLaunched  atomic.Int64
-	probesCancelled atomic.Int64
+	workers            atomic.Int64
+	tasks              atomic.Int64
+	inlineRuns         atomic.Int64
+	queueDepthPeak     atomic.Int64
+	busyWorkersPeak    atomic.Int64
+	barriersEliminated atomic.Int64
+	cacheHits          atomic.Int64
+	cacheMisses        atomic.Int64
+	probesLaunched     atomic.Int64
+	probesCancelled    atomic.Int64
 }
 
-// SetWorkers records the configured worker-pool size (kept as a high-water
-// mark, so nested schedulers report the widest pool).
-func (c *Concurrency) SetWorkers(n int) {
+// maxInt64 raises gauge g to v if v is larger (a lock-free running maximum).
+func maxInt64(g *atomic.Int64, v int64) {
 	for {
-		cur := c.workers.Load()
-		if int64(n) <= cur || c.workers.CompareAndSwap(cur, int64(n)) {
+		cur := g.Load()
+		if v <= cur || g.CompareAndSwap(cur, v) {
 			return
 		}
 	}
 }
 
-// AddLevelWave counts one level barrier executed by the parallel scheduler.
-func (c *Concurrency) AddLevelWave() { c.levelWaves.Add(1) }
+// SetWorkers records the configured worker-pool size (kept as a high-water
+// mark, so nested schedulers report the widest pool).
+func (c *Concurrency) SetWorkers(n int) { maxInt64(&c.workers, int64(n)) }
 
-// AddTask counts one SCC task executed by a pool worker.
+// AddTask counts one SCC task pulled from the dataflow ready queue.
 func (c *Concurrency) AddTask() { c.tasks.Add(1) }
+
+// AddInlineRun counts one trivial component chained onto the finishing
+// worker (grain batching) instead of going through the ready queue.
+func (c *Concurrency) AddInlineRun() { c.inlineRuns.Add(1) }
+
+// ObserveQueueDepth records the ready-queue depth seen after an enqueue;
+// the snapshot keeps the high-water mark.
+func (c *Concurrency) ObserveQueueDepth(depth int) { maxInt64(&c.queueDepthPeak, int64(depth)) }
+
+// ObserveBusyWorkers records how many pool workers were running components
+// simultaneously; the snapshot keeps the high-water mark (peak occupancy).
+func (c *Concurrency) ObserveBusyWorkers(busy int) { maxInt64(&c.busyWorkersPeak, int64(busy)) }
+
+// AddBarriersEliminated counts level barriers the old level-synchronized
+// scheduler would have executed for this run and the dataflow scheduler did
+// not (one per condensation level beyond the first).
+func (c *Concurrency) AddBarriersEliminated(n int) {
+	if n > 0 {
+		c.barriersEliminated.Add(int64(n))
+	}
+}
 
 // AddCacheHit counts a sharded decomposition-cache hit.
 func (c *Concurrency) AddCacheHit() { c.cacheHits.Add(1) }
@@ -50,24 +74,30 @@ func (c *Concurrency) AddProbeCancelled() { c.probesCancelled.Add(1) }
 
 // ConcurrencySnapshot is a plain-value copy of the counters.
 type ConcurrencySnapshot struct {
-	Workers         int // configured pool size (high-water mark)
-	LevelWaves      int // level barriers executed
-	Tasks           int // SCC tasks executed by pool workers
-	CacheHits       int // sharded decomposition-cache hits
-	CacheMisses     int // sharded decomposition-cache misses
-	ProbesLaunched  int // feasibility probes started
-	ProbesCancelled int // speculative probes cancelled
+	Workers            int // configured pool size (high-water mark)
+	Tasks              int // SCC tasks pulled from the ready queue
+	InlineRuns         int // trivial components chained inline (grain batching)
+	QueueDepthPeak     int // ready-queue depth high-water mark
+	BusyWorkersPeak    int // peak simultaneous busy workers (occupancy)
+	BarriersEliminated int // level barriers the dataflow scheduler avoided
+	CacheHits          int // sharded decomposition-cache hits
+	CacheMisses        int // sharded decomposition-cache misses
+	ProbesLaunched     int // feasibility probes started
+	ProbesCancelled    int // speculative probes cancelled
 }
 
 // Snapshot reads the counters.
 func (c *Concurrency) Snapshot() ConcurrencySnapshot {
 	return ConcurrencySnapshot{
-		Workers:         int(c.workers.Load()),
-		LevelWaves:      int(c.levelWaves.Load()),
-		Tasks:           int(c.tasks.Load()),
-		CacheHits:       int(c.cacheHits.Load()),
-		CacheMisses:     int(c.cacheMisses.Load()),
-		ProbesLaunched:  int(c.probesLaunched.Load()),
-		ProbesCancelled: int(c.probesCancelled.Load()),
+		Workers:            int(c.workers.Load()),
+		Tasks:              int(c.tasks.Load()),
+		InlineRuns:         int(c.inlineRuns.Load()),
+		QueueDepthPeak:     int(c.queueDepthPeak.Load()),
+		BusyWorkersPeak:    int(c.busyWorkersPeak.Load()),
+		BarriersEliminated: int(c.barriersEliminated.Load()),
+		CacheHits:          int(c.cacheHits.Load()),
+		CacheMisses:        int(c.cacheMisses.Load()),
+		ProbesLaunched:     int(c.probesLaunched.Load()),
+		ProbesCancelled:    int(c.probesCancelled.Load()),
 	}
 }

@@ -24,7 +24,10 @@ func TestConcurrencyCountersUnderContention(t *testing.T) {
 					c.AddCacheMiss()
 				}
 			}
-			c.AddLevelWave()
+			c.AddInlineRun()
+			c.ObserveQueueDepth(w)
+			c.ObserveBusyWorkers(w + 1)
+			c.AddBarriersEliminated(2)
 			c.AddProbeLaunched()
 			if w%4 == 0 {
 				c.AddProbeCancelled()
@@ -42,8 +45,17 @@ func TestConcurrencyCountersUnderContention(t *testing.T) {
 	if s.CacheHits+s.CacheMisses != workers*perWorker {
 		t.Errorf("cache traffic %d+%d, want %d", s.CacheHits, s.CacheMisses, workers*perWorker)
 	}
-	if s.LevelWaves != workers || s.ProbesLaunched != workers {
-		t.Errorf("waves/probes = %d/%d, want %d each", s.LevelWaves, s.ProbesLaunched, workers)
+	if s.InlineRuns != workers || s.ProbesLaunched != workers {
+		t.Errorf("inline/probes = %d/%d, want %d each", s.InlineRuns, s.ProbesLaunched, workers)
+	}
+	if s.QueueDepthPeak != workers-1 {
+		t.Errorf("QueueDepthPeak = %d, want high-water mark %d", s.QueueDepthPeak, workers-1)
+	}
+	if s.BusyWorkersPeak != workers {
+		t.Errorf("BusyWorkersPeak = %d, want high-water mark %d", s.BusyWorkersPeak, workers)
+	}
+	if s.BarriersEliminated != 2*workers {
+		t.Errorf("BarriersEliminated = %d, want %d", s.BarriersEliminated, 2*workers)
 	}
 	if s.ProbesCancelled != workers/4 {
 		t.Errorf("ProbesCancelled = %d, want %d", s.ProbesCancelled, workers/4)
@@ -56,5 +68,15 @@ func TestSetWorkersIsHighWaterMark(t *testing.T) {
 	c.SetWorkers(2)
 	if got := c.Snapshot().Workers; got != 8 {
 		t.Fatalf("Workers = %d, want 8", got)
+	}
+}
+
+func TestBarriersEliminatedIgnoresNonPositive(t *testing.T) {
+	var c Concurrency
+	c.AddBarriersEliminated(0)
+	c.AddBarriersEliminated(-3)
+	c.AddBarriersEliminated(5)
+	if got := c.Snapshot().BarriersEliminated; got != 5 {
+		t.Fatalf("BarriersEliminated = %d, want 5", got)
 	}
 }
