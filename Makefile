@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test test-full race bench-smoke bench-scale
+.PHONY: build test test-full race chaos fuzz-smoke bench-smoke bench-scale
 
 # Compile everything and vet it.
 build:
@@ -19,9 +19,25 @@ test-full:
 	$(GO) test -timeout 20m ./...
 
 # Race detector over the fast suite (covers the parallel label engine, the
-# sharded decomposition cache and the speculative search).
+# sharded decomposition cache, the speculative search and the
+# fault-injection scenarios).
 race:
 	$(GO) test -race -short -timeout 15m ./...
+
+# Chaos suite: every fault-injection scenario (contained panics, mid-sweep
+# cancellation, budget exhaustion, slow workers, randomized plans) plus the
+# cancellation-latency contract, repeated under the race detector.
+chaos:
+	$(GO) test -race -count 2 -timeout 20m \
+		-run 'TestInjected|TestRandomizedChaos|TestRealBudgetDegradation|TestGenerousBudgets|TestCancelBeforeStart|TestFeasibleContextCancel' \
+		./internal/core
+	$(GO) test -race -count 2 ./internal/faultinject
+	$(GO) test -race -timeout 10m -run 'TestSynthesizeCancel|TestSynthesizeDeadline|TestSynthesizeExpired' .
+
+# Native fuzzing smoke over the BLIF reader: 30s of coverage-guided input
+# generation against the parse-or-error-cleanly contract.
+fuzz-smoke:
+	$(GO) test -fuzz FuzzReadBLIF -fuzztime 30s -run '^$$' ./internal/netlist
 
 # One iteration of the PLD, scaling and warm/cold-probe benchmarks; sanity,
 # not statistics. The Scale benchmarks run j1/jN sub-benchmarks, so the

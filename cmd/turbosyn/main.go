@@ -11,10 +11,13 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"time"
@@ -34,6 +37,10 @@ func main() {
 		noPLD      = flag.Bool("nopld", false, "disable positive loop detection (n^2 stopping rule)")
 		noWarm     = flag.Bool("nowarm", false, "disable warm-started search probes (cold binary search)")
 		workers    = flag.Int("j", 0, "worker pool size (0 = all CPUs, 1 = sequential); results are identical for every setting")
+		timeout    = flag.Duration("timeout", 0, "abort synthesis after this duration (0 = no limit); partial progress is reported")
+		strict     = flag.Bool("strict", false, "treat resource-budget exhaustion as an error instead of degrading gracefully")
+		bddBudget  = flag.Int("bdd-budget", 0, "max OBDD nodes per decomposition pre-screen (0 = unlimited)")
+		rkBudget   = flag.Int("rk-budget", 0, "max Roth-Karp bound-set candidates per decomposition attempt (0 = unlimited)")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file (samples carry a per-stage 'phase' label)")
 		memProfile = flag.String("memprofile", "", "write an allocation profile to this file after synthesis")
 	)
@@ -73,7 +80,10 @@ func main() {
 		fatal(err)
 	}
 
-	opts := turbosyn.Options{K: *k, NoPack: *noPack, NoPLD: *noPLD, NoWarmStart: *noWarm, Workers: *workers}
+	opts := turbosyn.Options{
+		K: *k, NoPack: *noPack, NoPLD: *noPLD, NoWarmStart: *noWarm, Workers: *workers,
+		Strict: *strict, BDDNodeBudget: *bddBudget, RothKarpBudget: *rkBudget,
+	}
 	switch *alg {
 	case "turbosyn":
 		opts.Algorithm = turbosyn.TurboSYN
@@ -94,9 +104,30 @@ func main() {
 	}
 	opts.NoRealize = *raw
 
+	// Ctrl-C (and -timeout) cancel the synthesis gracefully: the engine
+	// aborts at its next checkpoint and the CancelError below still reports
+	// the phase reached, the best phi proven and the partial statistics. A
+	// second Ctrl-C kills the process the usual way (signal.NotifyContext
+	// restores the default handler once the context is done).
+	ctx, cancelSignals := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer cancelSignals()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
 	start := time.Now()
-	res, err := turbosyn.Synthesize(c, opts)
+	res, err := turbosyn.SynthesizeContext(ctx, c, opts)
 	if err != nil {
+		var ce *turbosyn.CancelError
+		if errors.As(err, &ce) {
+			fmt.Fprintf(os.Stderr,
+				"turbosyn: %s: aborted during %s after %v (%v): best phi so far %s, %d iterations, %d cut checks\n",
+				c.Name, ce.Phase, time.Since(start).Round(time.Millisecond), ce.Err,
+				phiString(ce.BestPhi), ce.Stats.Iterations, ce.Stats.CutChecks)
+			os.Exit(1)
+		}
 		fatal(err)
 	}
 	fmt.Fprintf(os.Stderr,
@@ -132,6 +163,13 @@ func main() {
 			fatal(err)
 		}
 	}
+}
+
+func phiString(phi int) string {
+	if phi < 0 {
+		return "none"
+	}
+	return fmt.Sprintf("%d", phi)
 }
 
 func fatal(err error) {

@@ -36,10 +36,12 @@ type iteKey struct{ f, g, h Ref }
 
 // Manager owns the node and operation caches for one variable order.
 type Manager struct {
-	nvar   int
-	nodes  []node
-	unique map[triple]Ref
-	iteMem map[iteKey]Ref
+	nvar     int
+	nodes    []node
+	unique   map[triple]Ref
+	iteMem   map[iteKey]Ref
+	limit    int // max node count, 0 = unlimited
+	overflow bool
 }
 
 // New returns a manager over nvar variables.
@@ -57,6 +59,25 @@ func New(nvar int) *Manager {
 	return m
 }
 
+// NewBounded returns a manager that refuses to grow beyond maxNodes live
+// nodes (terminals included; maxNodes <= 0 means unlimited). Construction is
+// worst-case exponential in the variable count, so bounded managers are how
+// callers keep OBDD-based decomposition inside a memory budget: once a
+// construction would exceed the ceiling the manager sets its overflow flag
+// and returns structurally valid but unspecified results — callers must
+// check Overflowed() and discard everything built since the flag was set.
+func NewBounded(nvar, maxNodes int) *Manager {
+	m := New(nvar)
+	if maxNodes > 0 {
+		m.limit = maxNodes
+	}
+	return m
+}
+
+// Overflowed reports whether any construction hit the node ceiling. Results
+// produced after the first overflow are unspecified and must be discarded.
+func (m *Manager) Overflowed() bool { return m.overflow }
+
 // NumVars returns the variable count.
 func (m *Manager) NumVars() int { return m.nvar }
 
@@ -71,6 +92,12 @@ func (m *Manager) mk(level int32, lo, hi Ref) Ref {
 	key := triple{level, lo, hi}
 	if r, ok := m.unique[key]; ok {
 		return r
+	}
+	if m.limit > 0 && len(m.nodes) >= m.limit {
+		// Over budget: flag the overflow and return an arbitrary valid node
+		// so in-flight recursions terminate; the caller discards the result.
+		m.overflow = true
+		return lo
 	}
 	r := Ref(len(m.nodes))
 	m.nodes = append(m.nodes, node{level: level, lo: lo, hi: hi})

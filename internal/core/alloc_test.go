@@ -26,8 +26,8 @@ func TestWarmLabelSweepZeroAlloc(t *testing.T) {
 		}
 	}
 	s := newState(c, 2, opts)
-	if !s.run() {
-		t.Fatal("phi=2 must be feasible for the suite FSM")
+	if ok, err := s.run(); err != nil || !ok {
+		t.Fatalf("phi=2 must be feasible for the suite FSM (ok=%v err=%v)", ok, err)
 	}
 
 	var updatable []int

@@ -35,6 +35,18 @@ type arena struct {
 	// tighter/looser probes of the same node).
 	builtL int
 	built  bool
+
+	// curNode is the circuit node the owning worker is currently deciding,
+	// -1 between decisions. Read only by the panic-containment boundary
+	// (safeRunComp) to attribute a contained panic to a node.
+	curNode int
+}
+
+// reset releases every retained array back to the allocator (the
+// ArenaByteBudget degradation). The arena stays usable; it just re-grows
+// from cold on its next use.
+func (ar *arena) reset() {
+	*ar = arena{curNode: ar.curNode}
 }
 
 // bytes reports the approximate footprint of the arena's retained arrays
@@ -48,7 +60,7 @@ func (ar *arena) bytes() int {
 // arenaFor returns the worker's scratch arena, creating it on first use.
 func (s *state) arenaFor(w int) *arena {
 	for len(s.arenas) <= w {
-		s.arenas = append(s.arenas, &arena{})
+		s.arenas = append(s.arenas, &arena{curNode: -1})
 	}
 	return s.arenas[w]
 }

@@ -21,19 +21,28 @@ import (
 // binary search without making results depend on execution order.
 const decompCacheShards = 64
 
+// decompEntry is one memoized Decompose outcome: the tree (nil = failure)
+// plus whether the search was truncated by an effort budget. The degraded
+// flag replays into Stats.Degradations on every hit, so budget accounting
+// stays consistent whether the outcome was computed or cached.
+type decompEntry struct {
+	tree     *decomp.Tree
+	degraded bool
+}
+
 type decompCache struct {
 	conc   *stats.Concurrency
 	seed   maphash.Seed
 	shards [decompCacheShards]struct {
 		mu sync.Mutex
-		m  map[string]*decomp.Tree
+		m  map[string]decompEntry
 	}
 }
 
 func newDecompCache(conc *stats.Concurrency) *decompCache {
 	dc := &decompCache{conc: conc, seed: maphash.MakeSeed()}
 	for i := range dc.shards {
-		dc.shards[i].m = make(map[string]*decomp.Tree)
+		dc.shards[i].m = make(map[string]decompEntry)
 	}
 	return dc
 }
@@ -42,27 +51,28 @@ func (dc *decompCache) shardFor(key string) int {
 	return int(maphash.String(dc.seed, key) % decompCacheShards)
 }
 
-// lookup returns the cached tree (nil = cached failure) and whether the key
-// was present.
-func (dc *decompCache) lookup(key string) (*decomp.Tree, bool) {
+// lookup returns the cached outcome (entry.tree nil = cached failure) and
+// whether the key was present.
+func (dc *decompCache) lookup(key string) (decompEntry, bool) {
 	sh := &dc.shards[dc.shardFor(key)]
 	sh.mu.Lock()
-	tree, ok := sh.m[key]
+	entry, ok := sh.m[key]
 	sh.mu.Unlock()
 	if ok {
 		dc.conc.AddCacheHit()
 	} else {
 		dc.conc.AddCacheMiss()
 	}
-	return tree, ok
+	return entry, ok
 }
 
-// store records a Decompose outcome (nil for failure). Concurrent stores for
-// the same key are benign: Decompose is a pure function of the key, so both
-// writers carry structurally identical values.
-func (dc *decompCache) store(key string, tree *decomp.Tree) {
+// store records a Decompose outcome (nil tree for failure). Concurrent
+// stores for the same key are benign: Decompose is a pure function of the
+// key — which embeds the effort budget — so both writers carry structurally
+// identical values.
+func (dc *decompCache) store(key string, entry decompEntry) {
 	sh := &dc.shards[dc.shardFor(key)]
 	sh.mu.Lock()
-	sh.m[key] = tree
+	sh.m[key] = entry
 	sh.mu.Unlock()
 }

@@ -26,6 +26,7 @@ import (
 	"fmt"
 	"runtime"
 
+	"turbosyn/internal/logic"
 	"turbosyn/internal/netlist"
 	"turbosyn/internal/stats"
 )
@@ -90,6 +91,30 @@ type Options struct {
 	// the default (64); 1 effectively disables chaining. Pure scheduling —
 	// results are bit-identical for every setting.
 	TaskGrain int
+
+	// Resource budgets (0 = unlimited). Exhausting a budget never aborts
+	// the run by default: the affected node falls back to the structural
+	// feasibility check (its resynthesis attempt is skipped or truncated),
+	// the event is counted in Stats.Degradations, and the mapping stays
+	// valid — at worst less optimized. With no budget tripped, results are
+	// bit-identical to an unbudgeted run. See DESIGN.md, "Cancellation,
+	// budgets, and fault containment".
+
+	// BDDNodeBudget caps the OBDD built to pre-screen each candidate bound
+	// set during sequential decomposition (Roth-Karp and OBDD construction
+	// are worst-case exponential; this is the memory lever).
+	BDDNodeBudget int
+	// RothKarpBudget caps the bound-set candidates examined per
+	// decomposition attempt (the time lever on the window scan).
+	RothKarpBudget int
+	// ArenaByteBudget caps a worker scratch arena's retained footprint:
+	// after a component whose arena exceeds it, the arena is released back
+	// to the allocator (results are unaffected — arenas are pure scratch —
+	// but the warm-path allocation savings are lost for that worker).
+	ArenaByteBudget int
+	// Strict turns every budget degradation into a *BudgetError instead of
+	// a silent quality loss: exhausted budgets abort the run.
+	Strict bool
 }
 
 func (o Options) withDefaults() Options {
@@ -153,6 +178,13 @@ type Stats struct {
 	ArenaPeakBytes int // high-water footprint of the busiest scratch arena
 	WarmStarts     int // search probes seeded from a neighbouring probe's labels
 
+	// Degradations counts budget exhaustions absorbed by graceful
+	// degradation: nodes whose resynthesis was skipped or truncated by
+	// BDDNodeBudget/RothKarpBudget, and arenas released by ArenaByteBudget.
+	// Always 0 when no budget is configured. Under Options.Strict the first
+	// would-be degradation aborts the run with a *BudgetError instead.
+	Degradations int
+
 	// Concurrency counters (see Options.Workers and internal/stats).
 	Workers            int // effective worker-pool size (1 = sequential)
 	ParallelTasks      int // SCC tasks pulled from the dataflow ready queue
@@ -180,6 +212,7 @@ func (s *Stats) Add(s2 Stats) {
 		s.ArenaPeakBytes = s2.ArenaPeakBytes
 	}
 	s.WarmStarts += s2.WarmStarts
+	s.Degradations += s2.Degradations
 	if s2.Workers > s.Workers {
 		s.Workers = s2.Workers
 	}
@@ -253,12 +286,19 @@ func validateInput(c *netlist.Circuit, opts Options) error {
 	if err := c.Check(); err != nil {
 		return err
 	}
+	if opts.K < 2 {
+		return fmt.Errorf("core: K = %d is too small (need K >= 2)", opts.K)
+	}
+	if opts.K > logic.MaxVars {
+		return fmt.Errorf("core: K = %d exceeds the %d-input limit of the function representation",
+			opts.K, logic.MaxVars)
+	}
+	if opts.Cmax > logic.MaxVars {
+		return fmt.Errorf("core: Cmax = %d exceeds logic.MaxVars = %d", opts.Cmax, logic.MaxVars)
+	}
 	if !c.IsKBounded(opts.K) {
 		return fmt.Errorf("core: circuit %s is not %d-bounded (max fanin %d); run decomp.KBound first",
 			c.Name, opts.K, c.MaxFanin())
-	}
-	if opts.K < 2 {
-		return fmt.Errorf("core: K = %d is too small", opts.K)
 	}
 	return nil
 }

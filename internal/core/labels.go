@@ -9,6 +9,7 @@ import (
 	"turbosyn/internal/cut"
 	"turbosyn/internal/decomp"
 	"turbosyn/internal/expand"
+	"turbosyn/internal/faultinject"
 	"turbosyn/internal/graph"
 	"turbosyn/internal/logic"
 	"turbosyn/internal/netlist"
@@ -67,6 +68,15 @@ type state struct {
 	// probes that lost their branch). A cancelled run reports infeasible;
 	// the caller must discard its result.
 	cancel *atomic.Bool
+	// guard, when non-nil, is the context watcher shared by every probe of
+	// one public API call: its flag aborts the run like cancel does, but the
+	// abort surfaces as the context's error instead of a discarded verdict.
+	guard *runGuard
+	// fails records the first run-aborting error of this probe: a contained
+	// panic (InternalError) or a budget exhaustion under Strict
+	// (BudgetError). Once tripped, stopped() drains the run like a
+	// cancellation and run() returns the recorded error.
+	fails failSet
 	// failed flags an infeasible component so sibling workers stop pumping
 	// labels that no longer matter. Reset at the top of every run.
 	failed atomic.Bool
@@ -151,9 +161,55 @@ func (s *state) seedLabels(seed []int) {
 }
 
 // stopped reports whether the probe should abandon work: a sibling
-// component proved phi infeasible, or the search cancelled this probe.
+// component proved phi infeasible, the search cancelled this probe, the
+// caller's context is done, or a fatal error (contained panic, strict
+// budget) was recorded. Every check is one atomic load, so the engine polls
+// it at sweep granularity (and every checkpointMask+1 node updates within a
+// sweep) without measurable cost.
 func (s *state) stopped() bool {
-	return s.failed.Load() || (s.cancel != nil && s.cancel.Load())
+	return s.failed.Load() || s.fails.tripped() ||
+		(s.cancel != nil && s.cancel.Load()) || s.guard.cancelled()
+}
+
+// checkpointMask batches the intra-sweep cancellation checks: one stopped()
+// poll every checkpointMask+1 node updates keeps the worst-case abort
+// latency at a few hundred label decisions while making the common-case
+// overhead a masked counter test.
+const checkpointMask = 255
+
+// abortErr resolves why an aborted run stopped: a recorded fatal error
+// wins, then context cancellation; a plain infeasible or speculatively
+// cancelled probe has no error.
+func (s *state) abortErr() error {
+	if err := s.fails.get(); err != nil {
+		return err
+	}
+	if s.guard.cancelled() {
+		return s.guard.err()
+	}
+	return nil
+}
+
+// finishRun turns a run verdict into run()'s result, surfacing any abort
+// error even when the verdict itself managed to complete.
+func (s *state) finishRun(ok bool) (bool, error) {
+	if err := s.abortErr(); err != nil {
+		return false, err
+	}
+	return ok, nil
+}
+
+// degrade absorbs one resource-budget exhaustion: counted in
+// st.Degradations by default (the node falls back to the structural
+// feasibility check), fatal under Options.Strict. It reports whether the
+// run continues gracefully.
+func (s *state) degrade(st *Stats, resource string, node, limit int) bool {
+	if s.opts.Strict {
+		s.fails.fail(&BudgetError{Resource: resource, Node: node, Limit: limit})
+		return false
+	}
+	st.Degradations++
+	return true
 }
 
 // computeL returns L(v) = max over fanin edges of l(u) - phi*w(e).
@@ -170,15 +226,18 @@ func (s *state) computeL(v int) int {
 // run performs the label computation. It returns true when phi is feasible
 // (labels converged, and for non-pipelined objectives every PO meets phi).
 // On success the labels are converged and recs is consistent with them.
+// A non-nil error means the run aborted — context cancellation, a budget
+// exhausted under Strict, or a contained panic — and the verdict carries no
+// information; stats still reflect the partial work done.
 //
-// With workers > 1 the per-component work is scheduled level-by-level over
+// With workers > 1 the per-component work is scheduled dataflow-style over
 // the condensation (see parallel.go); with workers == 1, or whenever an
 // iteration budget demands globally ordered accounting, components run
 // strictly sequentially in topological order. Both paths produce identical
 // labels, covers and verdicts: a component's computation reads only its own
 // members and upstream components, and upstream components are final before
 // the component starts in either schedule.
-func (s *state) run() bool {
+func (s *state) run() (bool, error) {
 	s.failed.Store(false)
 	if s.workers > 1 && s.opts.IterBudget <= 0 {
 		return s.runParallel()
@@ -186,11 +245,11 @@ func (s *state) run() bool {
 	s.conc.SetWorkers(1)
 	ar := s.arenaFor(0)
 	for _, comp := range s.sccs.Order {
-		if s.runComp(comp, &s.stats, ar) != compConverged {
-			return false
+		if s.safeRunComp(comp, &s.stats, ar) != compConverged {
+			return s.finishRun(false)
 		}
 	}
-	return s.checkOutputs()
+	return s.finishRun(s.checkOutputs())
 }
 
 // checkOutputs enforces the clock-period side condition after convergence.
@@ -215,10 +274,32 @@ const (
 	// compInfeasible: the component certifies phi infeasible (positive
 	// loop detected, or the conservative stopping rule ran out).
 	compInfeasible
-	// compCancelled: the probe was abandoned (lost speculation branch or a
-	// sibling component already failed); the verdict carries no information.
+	// compCancelled: the probe was abandoned (lost speculation branch, a
+	// sibling component already failed, the context was cancelled, or a
+	// fatal error was recorded); the verdict carries no information.
 	compCancelled
+	// compErrored: the component's iteration panicked; the panic was
+	// recovered at the containment boundary and recorded as an
+	// InternalError in s.fails. The verdict carries no information.
+	compErrored
 )
+
+// safeRunComp is the panic-containment boundary around one component's
+// iteration: a panic anywhere inside the label engine — a bug, or an
+// injected fault — is recovered here, recorded as an InternalError naming
+// the component and the node being decided, and converted into an abort the
+// rest of the run observes through stopped(). The scheduler's bookkeeping
+// (finish, pending counters, queue close) therefore always runs, so a
+// panicking component can never strand its successors or deadlock the pool.
+func (s *state) safeRunComp(comp int, st *Stats, ar *arena) (out compOutcome) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.fails.fail(newInternalError(r, "labels", comp, ar.curNode))
+			out = compErrored
+		}
+	}()
+	return s.runComp(comp, st, ar)
+}
 
 // runComp iterates component comp to convergence. st receives the work
 // counters; in the sequential schedule it is the state's own stats, in the
@@ -229,8 +310,17 @@ const (
 // disjoint.
 func (s *state) runComp(comp int, st *Stats, ar *arena) compOutcome {
 	out := s.iterateComp(comp, st, ar)
-	if b := ar.bytes(); b > st.ArenaPeakBytes {
+	b := ar.bytes()
+	if b > st.ArenaPeakBytes {
 		st.ArenaPeakBytes = b
+	}
+	if lim := s.opts.ArenaByteBudget; lim > 0 && b > lim {
+		// The arena outgrew its budget: release the retained scratch back to
+		// the allocator. Arenas are pure scratch, so results are unaffected;
+		// the worker merely re-grows warm arrays on its next component.
+		if s.degrade(st, "arena-bytes", -1, lim) {
+			ar.reset()
+		}
 	}
 	return out
 }
@@ -283,7 +373,9 @@ func (s *state) iterateComp(comp int, st *Stats, ar *arena) compOutcome {
 	if s.opts.PLD && capIter < pldFrom+4 {
 		capIter = pldFrom + 4
 	}
+	ar.curNode = -1
 	for iter := 0; iter < capIter; iter++ {
+		faultinject.Sweep()
 		if s.stopped() {
 			return compCancelled
 		}
@@ -292,7 +384,10 @@ func (s *state) iterateComp(comp int, st *Stats, ar *arena) compOutcome {
 		}
 		st.Iterations++
 		changed := false
-		for _, id := range updatable {
+		for ui, id := range updatable {
+			if ui&checkpointMask == checkpointMask && s.stopped() {
+				return compCancelled
+			}
 			if s.update(id, false, st, ar) {
 				changed = true
 			}
@@ -302,7 +397,10 @@ func (s *state) iterateComp(comp int, st *Stats, ar *arena) compOutcome {
 			// labels and keep the covers. A change here means the
 			// Gauss-Seidel sweep raced itself; keep iterating.
 			st.Iterations++
-			for _, id := range updatable {
+			for ui, id := range updatable {
+				if ui&checkpointMask == checkpointMask && s.stopped() {
+					return compCancelled
+				}
 				if s.update(id, true, st, ar) {
 					changed = true
 				}
@@ -336,6 +434,7 @@ func (s *state) iterateComp(comp int, st *Stats, ar *arena) compOutcome {
 // update re-decides node id's label. record requests cover recording (used
 // on the final fresh pass). It reports whether the label changed.
 func (s *state) update(id int, record bool, st *Stats, ar *arena) bool {
+	ar.curNode = id // attributes a contained panic to the node being decided
 	n := s.c.Nodes[id]
 	L := s.computeL(id)
 	if n.Kind == netlist.PO {
@@ -375,6 +474,7 @@ func (s *state) decide(id, L int, record bool, st *Stats, ar *arena) (int, cover
 	xopts := expand.Options{LowDepth: s.opts.LowDepth, MaxNodes: s.opts.MaxExpand}
 	// Structural K-cut of height <= L?
 	st.CutChecks++
+	faultinject.CutCheck()
 	st.ExpandBuilds++
 	prof.Phase(prof.PhaseExpand)
 	x, built := ar.xb.Build(s.c, id, s.labels, s.phi, L, xopts)
@@ -448,12 +548,16 @@ func (s *state) decide(id, L int, record bool, st *Stats, ar *arena) (int, cover
 // grows the expanded region, so each probe Tightens the arena's builder in
 // place instead of re-expanding from scratch.
 func (s *state) tryDecompose(id, L int, st *Stats, ar *arena) (*decomp.Tree, []Replica, bool) {
-	if s.opts.Cmax > logic.MaxVars {
-		panic("core: Cmax exceeds logic.MaxVars")
-	}
 	if !ar.built {
 		// The expansion at bound L already overflowed the node cap; every
 		// tighter bound expands a superset and fails the same way.
+		return nil, nil, false
+	}
+	if faultinject.BudgetExhausted(id) {
+		// Injected budget exhaustion: behave exactly like a real one — the
+		// node degrades to the structural feasibility check (or aborts under
+		// Strict).
+		s.degrade(st, "injected", id, 0)
 		return nil, nil, false
 	}
 	for h := 1; h <= s.opts.MaxH; h++ {
@@ -485,36 +589,53 @@ func (s *state) tryDecompose(id, L int, st *Stats, ar *arena) (*decomp.Tree, []R
 		}
 		eff := func(r Replica) int { return s.labels[r.Orig] - s.phi*r.W }
 		sort.SliceStable(prio, func(a, b int) bool { return eff(reps[prio[a]]) < eff(reps[prio[b]]) })
-		key := decompKey(s.opts.K, h+1, prio, fn)
-		tree, cached := s.cache.lookup(key)
+		effort := decomp.Effort{BDDNodes: s.opts.BDDNodeBudget, MaxBoundSets: s.opts.RothKarpBudget}
+		key := decompKey(s.opts.K, h+1, prio, fn, effort)
+		entry, cached := s.cache.lookup(key)
 		if !cached {
-			var ok bool
-			tree, ok = decomp.Decompose(fn, s.opts.K, h+1, prio)
+			tree, ok, degraded := decomp.DecomposeEffort(fn, s.opts.K, h+1, prio, effort)
 			if !ok {
 				tree = nil
 			}
-			s.cache.store(key, tree)
+			entry = decompEntry{tree: tree, degraded: degraded}
+			s.cache.store(key, entry)
 		}
-		if tree == nil {
+		if entry.degraded {
+			// The budget truncated the search (whether computed now or
+			// replayed from the cache): the node may settle for a worse
+			// cover than the exact search would find. Count it — or abort,
+			// under Strict.
+			resource, limit := "rothkarp-candidates", s.opts.RothKarpBudget
+			if s.opts.RothKarpBudget <= 0 {
+				resource, limit = "bdd-nodes", s.opts.BDDNodeBudget
+			}
+			if !s.degrade(st, resource, id, limit) {
+				prof.Phase(prof.PhaseLabel)
+				return nil, nil, false
+			}
+		}
+		if entry.tree == nil {
 			continue
 		}
 		st.Decompositions++
 		prof.Phase(prof.PhaseLabel)
-		return tree, reps, true
+		return entry.tree, reps, true
 	}
 	prof.Phase(prof.PhaseLabel)
 	return nil, nil, false
 }
 
-// decompKey identifies one Decompose call. The priority order is part of
-// the key: Decompose's window scan is capped, so both the found tree and
-// whether one is found at all depend on it. Keying on the full input makes
-// the cached value equal to a fresh computation, which in turn makes cache
-// sharing across workers and probes order-independent.
-func decompKey(k, depthBudget int, prio []int, fn *logic.TT) string {
+// decompKey identifies one DecomposeEffort call. The priority order is part
+// of the key: Decompose's window scan is capped, so both the found tree and
+// whether one is found at all depend on it. The effort budget is part of
+// the key for the same reason — a truncated search and an exact one are
+// different computations. Keying on the full input makes the cached value
+// equal to a fresh computation, which in turn makes cache sharing across
+// workers and probes order-independent.
+func decompKey(k, depthBudget int, prio []int, fn *logic.TT, eff decomp.Effort) string {
 	var b strings.Builder
-	b.Grow(len(prio) + 24)
-	fmt.Fprintf(&b, "%d|%d|", k, depthBudget)
+	b.Grow(len(prio) + 32)
+	fmt.Fprintf(&b, "%d|%d|%d|%d|", k, depthBudget, eff.BDDNodes, eff.MaxBoundSets)
 	for _, p := range prio {
 		b.WriteByte(byte(p))
 	}

@@ -4,6 +4,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"turbosyn/internal/faultinject"
 	"turbosyn/internal/netlist"
 )
 
@@ -27,7 +28,7 @@ import (
 // until roughly Options.TaskGrain node updates have accumulated, and only
 // then returns to the queue. Chaining is pure scheduling: an inline run is
 // exactly a push immediately followed by a pop by the same worker.
-func (s *state) runParallel() bool {
+func (s *state) runParallel() (bool, error) {
 	s.conc.SetWorkers(s.workers)
 	nc := s.sccs.NumComps()
 
@@ -62,7 +63,7 @@ func (s *state) runParallel() bool {
 		}
 	}
 	if workCount == 0 {
-		return s.checkOutputs()
+		return s.finishRun(s.checkOutputs())
 	}
 	workers := s.workers
 	if workers > workCount {
@@ -73,11 +74,11 @@ func (s *state) runParallel() bool {
 		// the queue machinery entirely.
 		ar := s.arenaFor(0)
 		for _, comp := range s.sccs.Order {
-			if s.runComp(comp, &s.stats, ar) != compConverged {
-				return false
+			if s.safeRunComp(comp, &s.stats, ar) != compConverged {
+				return s.finishRun(false)
 			}
 		}
-		return s.checkOutputs()
+		return s.finishRun(s.checkOutputs())
 	}
 
 	// Record what the retired level-synchronized scheduler would have cost
@@ -109,6 +110,12 @@ func (s *state) runParallel() bool {
 	// Bounded ready queue: at most one slot per schedulable component, so
 	// enqueues never block and the close below cannot race a send.
 	ready := make(chan int, workCount)
+	// closeReady shuts the queue exactly once: normally when the last
+	// component completes, exceptionally from a worker's top-level panic
+	// recovery (where the component's bookkeeping is unrecoverable and the
+	// only safe move is to stop dispatching and let the pool drain).
+	var closeOnce sync.Once
+	closeReady := func() { closeOnce.Do(func() { close(ready) }) }
 
 	// finish marks comp complete and releases its successors. Newly-ready
 	// components with no work complete on the spot (cascading); at most one
@@ -141,7 +148,7 @@ func (s *state) runParallel() bool {
 				}
 			}
 			if remaining.Add(-1) == 0 {
-				close(ready)
+				closeReady()
 			}
 		}
 		return next
@@ -149,13 +156,14 @@ func (s *state) runParallel() bool {
 
 	runOne := func(comp int, ar *arena) {
 		if s.stopped() {
-			// A sibling proved phi infeasible or the search cancelled the
-			// probe: stop pumping labels, but keep completing components so
-			// the queue drains and closes.
+			// A sibling proved phi infeasible, the search cancelled the
+			// probe, the context expired or a fatal error was recorded: stop
+			// pumping labels, but keep completing components so the queue
+			// drains and closes.
 			aborted.Store(true)
 			return
 		}
-		out := s.runComp(comp, &taskStats[comp], ar)
+		out := s.safeRunComp(comp, &taskStats[comp], ar)
 		if out != compConverged {
 			aborted.Store(true)
 			if out == compInfeasible {
@@ -194,11 +202,27 @@ func (s *state) runParallel() bool {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// Last-resort containment: safeRunComp already recovers panics
+			// inside component iteration, so reaching this recover means the
+			// scheduler's own bookkeeping (finish, counters) broke mid-flight
+			// and this component's completion cannot be trusted. Record the
+			// failure and close the queue so the rest of the pool drains and
+			// joins instead of waiting for successors that will never become
+			// ready. A sibling blocked in a queue send observes the close as
+			// a send-on-closed panic and lands in its own recover here.
+			defer func() {
+				if r := recover(); r != nil {
+					s.fails.fail(newInternalError(r, "scheduler", -1, -1))
+					aborted.Store(true)
+					closeReady()
+				}
+			}()
 			for comp := range ready {
 				s.conc.ObserveBusyWorkers(int(busy.Add(1)))
 				grain := 0
 				for comp >= 0 {
 					s.conc.AddTask()
+					faultinject.Delay()
 					runOne(comp, ar)
 					grain += updates[comp]
 					comp = finish(comp, grain < s.opts.TaskGrain)
@@ -218,7 +242,7 @@ func (s *state) runParallel() bool {
 		s.stats.Add(taskStats[comp])
 	}
 	if aborted.Load() {
-		return false
+		return s.finishRun(false)
 	}
-	return s.checkOutputs()
+	return s.finishRun(s.checkOutputs())
 }

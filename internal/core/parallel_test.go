@@ -65,6 +65,7 @@ func blifBytes(t *testing.T, c *netlist.Circuit) []byte {
 // same converged labels, same LUT count, and a byte-identical mapped
 // netlist.
 func TestParallelMatchesSequentialGolden(t *testing.T) {
+	fenceGoroutines(t)
 	for _, tc := range goldenCases() {
 		t.Run(tc.name, func(t *testing.T) {
 			c := tc.build()
@@ -125,6 +126,7 @@ func TestParallelMatchesSequentialGolden(t *testing.T) {
 // TestFeasibleParallelMatchesSequential covers the single-probe entry point
 // across feasible and infeasible targets.
 func TestFeasibleParallelMatchesSequential(t *testing.T) {
+	fenceGoroutines(t)
 	c := fsmCircuit(4, 8, 4)()
 	opts := DefaultOptions()
 	if !c.IsKBounded(opts.K) {
@@ -158,6 +160,7 @@ func TestFeasibleParallelMatchesSequential(t *testing.T) {
 // probes abort mid-iteration, so their intermediate labels legitimately
 // depend on scheduling; only their verdict is pinned.
 func TestSchedulerStressRandom(t *testing.T) {
+	fenceGoroutines(t)
 	workerPools := []int{2, 8, runtime.GOMAXPROCS(0)}
 	grains := []int{1, 64}
 	seeds := []int64{11, 12, 13, 14}
@@ -189,7 +192,11 @@ func TestSchedulerStressRandom(t *testing.T) {
 				opts = opts.withDefaults()
 				s := newState(c, phi, opts)
 				s.attach(cache, conc, nil)
-				return s.run(), s.labels
+				ok, err := s.run()
+				if err != nil {
+					t.Fatalf("phi=%d workers=%d grain=%d: unexpected run error: %v", phi, workers, grain, err)
+				}
+				return ok, s.labels
 			}
 			for phi := 1; phi <= 4; phi++ {
 				wantOK, wantLabels := probe(phi, 1, 0)
@@ -227,8 +234,8 @@ func TestDecompCacheConcurrentStress(t *testing.T) {
 	cache := newDecompCache(conc)
 
 	type entry struct {
-		key  string
-		tree *decomp.Tree
+		key string
+		val decompEntry
 	}
 	var entries []entry
 	prios := [][]int{{0, 1, 2, 3, 4, 5}, {5, 4, 3, 2, 1, 0}, {2, 0, 3, 1, 5, 4}}
@@ -241,7 +248,7 @@ func TestDecompCacheConcurrentStress(t *testing.T) {
 					if (fi+depth+pi)%2 == 0 {
 						tree, _ = decomp.Decompose(fn, 3, depth+1, p)
 					}
-					entries = append(entries, entry{decompKey(3, depth, p, fn), tree})
+					entries = append(entries, entry{decompKey(3, depth, p, fn, decomp.Effort{}), decompEntry{tree: tree}})
 				}
 			}
 		}
@@ -258,13 +265,13 @@ func TestDecompCacheConcurrentStress(t *testing.T) {
 			defer wg.Done()
 			for r := 0; r < rounds; r++ {
 				e := entries[(g*rounds+r)%len(entries)]
-				if tree, ok := cache.lookup(e.key); ok {
-					if tree != nil && len(tree.Nodes) == 0 {
+				if got, ok := cache.lookup(e.key); ok {
+					if got.tree != nil && len(got.tree.Nodes) == 0 {
 						t.Errorf("key %q: corrupt cached tree", e.key)
 						return
 					}
 				} else {
-					cache.store(e.key, e.tree)
+					cache.store(e.key, e.val)
 				}
 			}
 		}(g)

@@ -21,7 +21,7 @@ func TestConvergedLabelInvariant(t *testing.T) {
 		for phi := 1; phi <= 4; phi++ {
 			for _, opts := range []Options{turboMapOpts(), turboSYNOpts()} {
 				s := newState(c, phi, opts)
-				if !s.run() {
+				if ok, err := s.run(); err != nil || !ok {
 					continue
 				}
 				for _, n := range c.Nodes {

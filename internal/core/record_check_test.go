@@ -106,8 +106,8 @@ func TestRecordIdentitySeed0(t *testing.T) {
 	}
 	opts := turboSYNOpts()
 	s := newState(c, 2, opts)
-	if !s.run() {
-		t.Fatal("phi=2 should be feasible")
+	if ok, err := s.run(); err != nil || !ok {
+		t.Fatalf("phi=2 should be feasible (ok=%v err=%v)", ok, err)
 	}
 	checkRecords(t, c, s, 200, 42)
 }

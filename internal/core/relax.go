@@ -14,8 +14,10 @@ package core
 // relaxations are visible downstream.
 
 // relaxForArea runs the greedy relaxation. It must be called on a converged,
-// feasible state; it leaves the state converged and feasible.
-func (s *state) relaxForArea() {
+// feasible state; it leaves the state converged and feasible. A non-nil
+// error aborts the relaxation mid-way (cancellation, strict budget,
+// contained panic); the state is then inconsistent and must be discarded.
+func (s *state) relaxForArea() error {
 	for _, id := range s.order {
 		rec := s.recs[id]
 		if rec.tree == nil || len(rec.tree.Nodes) <= 1 {
@@ -24,13 +26,18 @@ func (s *state) relaxForArea() {
 		labels := append([]int(nil), s.labels...)
 		recs := append([]coverRec(nil), s.recs...)
 		s.labels[id]++
-		if s.run() {
+		ok, err := s.run()
+		if err != nil {
+			return err
+		}
+		if ok {
 			continue // relaxation accepted; state reconverged
 		}
 		s.labels = labels
 		s.recs = recs
 		s.resetDecisions()
 	}
+	return nil
 }
 
 // resetDecisions clears the decision cache after a label rollback.

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync/atomic"
 
@@ -13,6 +14,14 @@ import (
 // opts.Pipelined, MDR ratio) at most phi exist? It returns the probe's work
 // statistics alongside.
 func Feasible(c *netlist.Circuit, phi int, opts Options) (bool, Stats, error) {
+	return FeasibleContext(context.Background(), c, phi, opts)
+}
+
+// FeasibleContext is Feasible under a context: cancellation or deadline
+// expiry aborts the probe between sweeps (and within long sweeps) and
+// returns a *CancelError wrapping the context's error, with the partial
+// work statistics attached.
+func FeasibleContext(ctx context.Context, c *netlist.Circuit, phi int, opts Options) (bool, Stats, error) {
 	opts = opts.withDefaults()
 	if err := validateInput(c, opts); err != nil {
 		return false, Stats{}, err
@@ -20,45 +29,67 @@ func Feasible(c *netlist.Circuit, phi int, opts Options) (bool, Stats, error) {
 	if phi < 1 {
 		return false, Stats{}, nil
 	}
+	guard := startGuard(ctx)
+	defer guard.release()
 	s := newState(c, phi, opts)
+	s.guard = guard
 	s.conc.AddProbeLaunched()
-	ok := s.run()
+	ok, err := s.run()
 	st := s.stats
 	st.fold(s.conc.Snapshot())
+	if err != nil {
+		return false, st, wrapAbort(err, "probe", -1, st)
+	}
 	return ok, st, nil
 }
 
 // MapAtRatio computes labels and a mapped LUT network for a specific
 // feasible phi. It fails if phi is infeasible.
 func MapAtRatio(c *netlist.Circuit, phi int, opts Options) (*Result, error) {
+	return MapAtRatioContext(context.Background(), c, phi, opts)
+}
+
+// MapAtRatioContext is MapAtRatio under a context (see FeasibleContext).
+func MapAtRatioContext(ctx context.Context, c *netlist.Circuit, phi int, opts Options) (*Result, error) {
 	opts = opts.withDefaults()
 	if err := validateInput(c, opts); err != nil {
 		return nil, err
 	}
+	guard := startGuard(ctx)
+	defer guard.release()
 	conc := &stats.Concurrency{}
-	res, err := mapAtRatio(c, phi, opts, newDecompCache(conc), conc)
+	res, st, err := mapAtRatio(c, phi, opts, newDecompCache(conc), conc, guard)
 	if err != nil {
-		return nil, err
+		st.fold(conc.Snapshot())
+		return nil, wrapAbort(err, "map", -1, st)
 	}
 	res.Stats.fold(conc.Snapshot())
 	return res, nil
 }
 
-// mapAtRatio is MapAtRatio over a search-wide cache and counter set; the
-// caller folds the counters into the final Stats exactly once.
-func mapAtRatio(c *netlist.Circuit, phi int, opts Options, cache *decompCache, conc *stats.Concurrency) (*Result, error) {
+// mapAtRatio is MapAtRatio over a search-wide cache, counter set and
+// context guard; the caller folds the counters into the final Stats exactly
+// once. The returned Stats carry the partial work even when err != nil.
+func mapAtRatio(c *netlist.Circuit, phi int, opts Options, cache *decompCache, conc *stats.Concurrency, guard *runGuard) (*Result, Stats, error) {
 	s := newState(c, phi, opts)
 	s.attach(cache, conc, nil)
+	s.guard = guard
 	conc.AddProbeLaunched()
-	if !s.run() {
-		return nil, fmt.Errorf("core: target %d is infeasible for %s", phi, c.Name)
+	ok, err := s.run()
+	if err != nil {
+		return nil, s.stats, err
+	}
+	if !ok {
+		return nil, s.stats, fmt.Errorf("core: target %d is infeasible for %s", phi, c.Name)
 	}
 	if opts.Relax && opts.Decompose {
-		s.relaxForArea()
+		if err := s.relaxForArea(); err != nil {
+			return nil, s.stats, err
+		}
 	}
 	m, origOf, err := s.generate()
 	if err != nil {
-		return nil, err
+		return nil, s.stats, err
 	}
 	return &Result{
 		Phi:    phi,
@@ -68,7 +99,7 @@ func mapAtRatio(c *netlist.Circuit, phi int, opts Options, cache *decompCache, c
 		OrigOf: origOf,
 		Stats:  s.stats,
 		Opts:   opts,
-	}, nil
+	}, s.stats, nil
 }
 
 // Minimize finds the minimum feasible phi by binary search and returns the
@@ -78,15 +109,31 @@ func mapAtRatio(c *netlist.Circuit, phi int, opts Options, cache *decompCache, c
 // (computed first when opts.Decompose is set, mirroring "first run TurboMap
 // to get an upper bound UB").
 func Minimize(c *netlist.Circuit, opts Options) (*Result, error) {
+	return MinimizeContext(context.Background(), c, opts)
+}
+
+// MinimizeContext is Minimize under a context. Cancellation or deadline
+// expiry aborts the search at the next checkpoint — probes poll an atomic
+// flag at sweep granularity, so the abort lands well under a second even on
+// large circuits — and returns a *CancelError carrying the phase that
+// observed it, the best feasible phi proven so far (-1 when none) and the
+// partial work statistics.
+func MinimizeContext(ctx context.Context, c *netlist.Circuit, opts Options) (*Result, error) {
 	opts = opts.withDefaults()
 	if err := validateInput(c, opts); err != nil {
 		return nil, err
 	}
+	guard := startGuard(ctx)
+	defer guard.release()
 	// One decomposition cache and one counter set span the whole search —
 	// every probe, speculative or not, and the final mapping pass.
 	conc := &stats.Concurrency{}
 	cache := newDecompCache(conc)
 	var total Stats
+	fail := func(err error, phase string, best int) (*Result, error) {
+		total.fold(conc.Snapshot())
+		return nil, wrapAbort(err, phase, best, total)
+	}
 	ub := retime.Period(c)
 	if ub < 1 {
 		ub = 1
@@ -95,19 +142,20 @@ func Minimize(c *netlist.Circuit, opts Options) (*Result, error) {
 		// Paper's UB: TurboMap's optimum seeds TurboSYN's search.
 		tmOpts := opts
 		tmOpts.Decompose = false
-		tm, err := minimizeSearch(c, ub, tmOpts, &total, cache, conc)
+		tm, err := minimizeSearch(c, ub, tmOpts, &total, cache, conc, guard)
 		if err != nil {
-			return nil, err
+			return fail(err, "turbomap-ub", tm)
 		}
 		ub = tm
 	}
-	best, err := minimizeSearch(c, ub, opts, &total, cache, conc)
+	best, err := minimizeSearch(c, ub, opts, &total, cache, conc, guard)
 	if err != nil {
-		return nil, err
+		return fail(err, "search", best)
 	}
-	res, err := mapAtRatio(c, best, opts, cache, conc)
+	res, st, err := mapAtRatio(c, best, opts, cache, conc, guard)
 	if err != nil {
-		return nil, err
+		total.Add(st)
+		return fail(err, "map", best)
 	}
 	total.Add(res.Stats)
 	res.Stats = total
@@ -132,10 +180,13 @@ func warmUseful(phi, seedPhi int) bool {
 // ub must be feasible. The accumulated statistics cover exactly the probes
 // on the canonical binary-search path, so totals match the sequential
 // search; speculative probes count only through the shared conc counters.
-func minimizeSearch(cc *netlist.Circuit, ub int, opts Options, total *Stats, cache *decompCache, conc *stats.Concurrency) (int, error) {
+// On an aborting error the returned phi is the best feasible one proven
+// before the abort (-1 when none), so the caller can report partial
+// progress.
+func minimizeSearch(cc *netlist.Circuit, ub int, opts Options, total *Stats, cache *decompCache, conc *stats.Concurrency, guard *runGuard) (int, error) {
 	workers := opts.workerCount()
 	if workers > 1 && opts.IterBudget <= 0 && ub > 2 {
-		return speculativeSearch(cc, ub, opts, total, cache, conc, workers)
+		return speculativeSearch(cc, ub, opts, total, cache, conc, guard, workers)
 	}
 	// Every later probe targets a phi below the best feasible one found so
 	// far, so the best probe's converged labels always qualify as a seed.
@@ -148,12 +199,16 @@ func minimizeSearch(cc *netlist.Circuit, ub int, opts Options, total *Stats, cac
 		mid := (lo + hi) / 2
 		s := newState(cc, mid, opts)
 		s.attach(cache, conc, nil)
+		s.guard = guard
 		if warm && warmLabels != nil && warmUseful(mid, warmPhi) {
 			s.seedLabels(warmLabels)
 		}
 		conc.AddProbeLaunched()
-		ok := s.run()
+		ok, err := s.run()
 		total.Add(s.stats)
+		if err != nil {
+			return best, err
+		}
 		if ok {
 			best = mid
 			warmLabels, warmPhi = s.labels, mid
@@ -163,7 +218,7 @@ func minimizeSearch(cc *netlist.Circuit, ub int, opts Options, total *Stats, cac
 		}
 	}
 	if best < 0 {
-		return 0, fmt.Errorf("core: no feasible target up to %d for %s (is the upper bound wrong?)",
+		return -1, fmt.Errorf("core: no feasible target up to %d for %s (is the upper bound wrong?)",
 			ub, cc.Name)
 	}
 	return best, nil
@@ -175,6 +230,7 @@ type probe struct {
 	cancel atomic.Bool
 	done   chan struct{}
 	ok     bool
+	err    error // aborting error (ctx, strict budget, contained panic)
 	stats  Stats
 	labels []int // converged labels when ok (warm-start seed for later probes)
 }
@@ -186,7 +242,14 @@ type probe struct {
 // cancelled (state.run notices via its cancel flag and aborts between
 // sweeps). Verdicts are deterministic per phi, so the search visits exactly
 // the phis the sequential search would and returns the same minimum.
-func speculativeSearch(cc *netlist.Circuit, ub int, opts Options, total *Stats, cache *decompCache, conc *stats.Concurrency, workers int) (int, error) {
+//
+// Fault containment: every probe goroutine carries a top-level recover (a
+// panic that escapes the label engine's own boundary becomes an
+// InternalError instead of killing the process), and the wind-down joins
+// every probe ever launched — cancelled lookaheads included — before
+// returning, so no goroutine outlives the search and no probe's error is
+// dropped on the floor.
+func speculativeSearch(cc *netlist.Circuit, ub int, opts Options, total *Stats, cache *decompCache, conc *stats.Concurrency, guard *runGuard, workers int) (best int, err error) {
 	// Split the pool between concurrent probes: the midpoint probe is the
 	// one blocking progress, the two lookahead probes ride along. Inner
 	// worker counts never change results, only scheduling.
@@ -213,12 +276,14 @@ func speculativeSearch(cc *netlist.Circuit, ub int, opts Options, total *Stats, 
 	warmPhi := 0
 
 	running := make(map[int]*probe)
+	var all []*probe // every probe ever launched, for the wind-down join
 	launch := func(phi int) {
 		if _, ok := running[phi]; ok {
 			return
 		}
 		p := &probe{phi: phi, done: make(chan struct{})}
 		running[phi] = p
+		all = append(all, p)
 		conc.AddProbeLaunched()
 		seed := warmLabels
 		if !warmUseful(phi, warmPhi) {
@@ -226,12 +291,18 @@ func speculativeSearch(cc *netlist.Circuit, ub int, opts Options, total *Stats, 
 		}
 		go func() {
 			defer close(p.done)
+			defer func() {
+				if r := recover(); r != nil {
+					p.err = newInternalError(r, "probe", -1, -1)
+				}
+			}()
 			s := newState(cc, phi, popts)
 			s.attach(cache, conc, &p.cancel)
+			s.guard = guard
 			if seed != nil {
 				s.seedLabels(seed)
 			}
-			p.ok = s.run()
+			p.ok, p.err = s.run()
 			p.stats = s.stats
 			p.labels = s.labels
 		}()
@@ -245,7 +316,7 @@ func speculativeSearch(cc *netlist.Circuit, ub int, opts Options, total *Stats, 
 	}
 
 	lo, hi := 1, ub
-	best := -1
+	best = -1
 	for lo <= hi {
 		mid := (lo + hi) / 2
 		launch(mid)
@@ -259,6 +330,10 @@ func speculativeSearch(cc *netlist.Circuit, ub int, opts Options, total *Stats, 
 		<-p.done
 		drop(p, false)
 		total.Add(p.stats)
+		if p.err != nil {
+			err = p.err
+			break
+		}
 		if p.ok {
 			best = mid
 			if warm {
@@ -276,17 +351,25 @@ func speculativeSearch(cc *netlist.Circuit, ub int, opts Options, total *Stats, 
 			}
 		}
 	}
-	// Wind down lookahead probes still in flight before returning, so no
-	// goroutine outlives the search.
+	// Wind down: cancel whatever is still running, then join every probe
+	// ever launched. Any aborting error a non-midpoint probe hit (a strict
+	// budget, a contained panic — a lost-speculation cancel is not an error)
+	// surfaces here rather than being silently discarded with the probe.
 	for _, q := range running {
 		q.cancel.Store(true)
 		conc.AddProbeCancelled()
 	}
-	for _, q := range running {
+	for _, q := range all {
 		<-q.done
+		if err == nil && q.err != nil {
+			err = q.err
+		}
+	}
+	if err != nil {
+		return best, err
 	}
 	if best < 0 {
-		return 0, fmt.Errorf("core: no feasible target up to %d for %s (is the upper bound wrong?)",
+		return -1, fmt.Errorf("core: no feasible target up to %d for %s (is the upper bound wrong?)",
 			ub, cc.Name)
 	}
 	return best, nil

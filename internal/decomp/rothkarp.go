@@ -44,6 +44,36 @@ func ColumnMultiplicity(f *logic.TT, boundSet []int) int {
 	return len(m.CutRefs(root, len(boundSet)))
 }
 
+// BoundedColumnMultiplicity is ColumnMultiplicity under a BDD node ceiling:
+// ok=false when the BDD construction (worst-case exponential) exceeded
+// maxNodes and the count is unusable. maxNodes <= 0 means unlimited.
+func BoundedColumnMultiplicity(f *logic.TT, boundSet []int, maxNodes int) (int, bool) {
+	n := f.NumVars()
+	order := varOrder(n, boundSet)
+	m := bdd.NewBounded(n, maxNodes)
+	root := m.FromTT(f.Expand(n, order))
+	if m.Overflowed() {
+		return 0, false
+	}
+	return len(m.CutRefs(root, len(boundSet))), true
+}
+
+// codeBits returns the Roth-Karp code width for column multiplicity mu:
+// ceil(log2 mu), floored at one wire. Must stay in lockstep with the e
+// computation inside RothKarp — the BDD pre-screen of DecomposeEffort relies
+// on "codeBits(mu) > maxCodeBits" being exactly RothKarp's failure
+// condition.
+func codeBits(mu int) int {
+	e := 0
+	for 1<<uint(e) < mu {
+		e++
+	}
+	if e == 0 {
+		e = 1
+	}
+	return e
+}
+
 // varOrder returns varMap for TT.Expand placing boundSet at positions
 // 0..k-1 and the remaining variables afterwards in increasing order.
 // varMap[j] = new position of old variable j.
@@ -253,6 +283,61 @@ func (t *Tree) MaxFanin() int {
 	return m
 }
 
+// Effort bounds the work one Decompose call may spend. The zero value means
+// unlimited effort: the exact search the paper describes, byte-identical to
+// DecomposeEffort-free callers. Positive bounds trade completeness for
+// predictable worst-case cost; a search truncated by a bound reports
+// degraded=true so callers can count the quality loss (see
+// core.Stats.Degradations).
+type Effort struct {
+	// BDDNodes, when positive, pre-screens every candidate bound set with a
+	// node-bounded OBDD column-multiplicity count (the Lai/Pan/Pedram cut
+	// construction): candidates whose BDD exceeds the ceiling are skipped
+	// as degraded instead of running the exponential extraction. Candidates
+	// within the ceiling behave exactly as without the bound — the BDD
+	// pre-screen decides the same predicate RothKarp itself would.
+	BDDNodes int
+	// MaxBoundSets, when positive, caps the total bound-set candidates
+	// examined across the whole Decompose call; the search stops (degraded)
+	// when the allowance runs out.
+	MaxBoundSets int
+}
+
+// effortState tracks consumption of one Decompose call's Effort.
+type effortState struct {
+	eff      Effort
+	examined int
+	degraded bool
+}
+
+// allow reports whether one more bound-set candidate may be examined,
+// marking the search degraded when the allowance just ran out.
+func (es *effortState) allow() bool {
+	if es.eff.MaxBoundSets > 0 && es.examined >= es.eff.MaxBoundSets {
+		es.degraded = true
+		return false
+	}
+	es.examined++
+	return true
+}
+
+// screen applies the BDD column-multiplicity pre-screen to a candidate
+// bound set of f that must encode into at most maxCodeBits wires. It
+// returns proceed=false when the candidate is settled without running the
+// extraction: either provably infeasible (same predicate RothKarp checks)
+// or over the BDD budget (marked degraded).
+func (es *effortState) screen(f *logic.TT, bound []int, maxCodeBits int) (proceed bool) {
+	if es.eff.BDDNodes <= 0 {
+		return true
+	}
+	mu, ok := BoundedColumnMultiplicity(f, bound, es.eff.BDDNodes)
+	if !ok {
+		es.degraded = true
+		return false
+	}
+	return codeBits(mu) <= maxCodeBits
+}
+
 // Decompose expresses f as a tree of at-most-K-input nodes of depth at most
 // depthBudget, searching bound sets in the priority order of the inputs:
 // inputs earlier in priority are preferred inside bound sets (the paper
@@ -260,8 +345,18 @@ func (t *Tree) MaxFanin() int {
 // and late ones stay near the root). priority may be nil for natural order.
 // ok=false when the search fails within the budget.
 func Decompose(f *logic.TT, k, depthBudget int, priority []int) (*Tree, bool) {
+	tr, ok, _ := DecomposeEffort(f, k, depthBudget, priority, Effort{})
+	return tr, ok
+}
+
+// DecomposeEffort is Decompose under a work budget. degraded reports that
+// the budget truncated the search: candidate bound sets were skipped, so a
+// failure (or a worse tree) may be a budget artifact rather than a real
+// infeasibility. With a zero Effort the search — and its outcome — is
+// identical to Decompose.
+func DecomposeEffort(f *logic.TT, k, depthBudget int, priority []int, eff Effort) (*Tree, bool, bool) {
 	if k < 2 {
-		return nil, false
+		return nil, false, false
 	}
 	n := f.NumVars()
 	tr := &Tree{NumInputs: n}
@@ -280,14 +375,15 @@ func Decompose(f *logic.TT, k, depthBudget int, priority []int) (*Tree, bool) {
 	for i := range refs {
 		refs[i] = i
 	}
-	root, ok := decomposeOver(f, refs, k, depthBudget, rank, tr)
+	es := &effortState{eff: eff}
+	root, ok := decomposeOver(f, refs, k, depthBudget, rank, tr, es)
 	if !ok {
-		return nil, false
+		return nil, false, es.degraded
 	}
 	if root != tr.Root() {
 		panic("decomp: root bookkeeping broken")
 	}
-	return tr, true
+	return tr, true, es.degraded
 }
 
 // decomposeOver decomposes f, whose variable j corresponds to tree reference
@@ -299,7 +395,7 @@ func Decompose(f *logic.TT, k, depthBudget int, priority []int) (*Tree, bool) {
 // bound sets into alpha nodes — never re-encoding an alpha created at this
 // level, so all of them sit side by side one level deep — and then recurses
 // on the shrunken composition function with one level less budget.
-func decomposeOver(f *logic.TT, refs []int, k, depthBudget int, rank map[int]int, tr *Tree) (int, bool) {
+func decomposeOver(f *logic.TT, refs []int, k, depthBudget int, rank map[int]int, tr *Tree, es *effortState) (int, bool) {
 	// Normalize to the support.
 	support := f.Support()
 	if len(support) < f.NumVars() {
@@ -345,9 +441,15 @@ func decomposeOver(f *logic.TT, refs []int, k, depthBudget int, rank map[int]int
 	search:
 		for size := min(k, len(ordered)); size >= 2; size-- {
 			for start := 0; start+size <= len(ordered) && start < maxStarts; start++ {
+				if !es.allow() {
+					break search // candidate allowance spent; search degraded
+				}
 				bound := append([]int(nil), ordered[start:start+size]...)
 				// The code must be narrower than the bound set, so every
 				// extraction strictly reduces the input count.
+				if !es.screen(f, bound, size-1) {
+					continue
+				}
 				rk, ok := RothKarp(f, bound, size-1)
 				if !ok {
 					continue
@@ -391,7 +493,7 @@ func decomposeOver(f *logic.TT, refs []int, k, depthBudget int, rank map[int]int
 		return 0, false
 	}
 	// Next level: everything (alphas included) is an ordinary input now.
-	root, ok := decomposeOver(f, refs, k, depthBudget-1, rank, tr)
+	root, ok := decomposeOver(f, refs, k, depthBudget-1, rank, tr, es)
 	if !ok {
 		tr.Nodes = tr.Nodes[:mark]
 		return 0, false

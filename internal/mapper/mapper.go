@@ -6,6 +6,7 @@
 package mapper
 
 import (
+	"context"
 	"fmt"
 
 	"turbosyn/internal/core"
@@ -50,12 +51,21 @@ func FlowSYN(c *netlist.Circuit, k int) (*core.Result, error) {
 // merge the mapped islands with the original registers, and report the
 // minimum clock period of the merged network under retiming and pipelining.
 func FlowSYNS(c *netlist.Circuit, k int) (*core.Result, error) {
+	return FlowSYNSContext(context.Background(), c, k)
+}
+
+// FlowSYNSContext is FlowSYNS under a context: cancellation aborts the
+// island mapping and surfaces as a *core.CancelError.
+func FlowSYNSContext(ctx context.Context, c *netlist.Circuit, k int) (*core.Result, error) {
 	if err := c.Check(); err != nil {
 		return nil, err
 	}
 	split, bound := splitAtRegisters(c)
-	res, err := FlowSYN(split, k)
+	res, err := core.MinimizeContext(ctx, split, combOptions(k, true))
 	if err != nil {
+		if core.IsAbort(err) {
+			return nil, err // keep the structured error reachable by errors.As
+		}
 		return nil, fmt.Errorf("mapper: FlowSYN-s island mapping: %v", err)
 	}
 	merged, origOf, err := merge(c, split, bound, res)

@@ -102,6 +102,9 @@ func ReadBLIF(r io.Reader) (*Circuit, error) {
 		if _, dup := driver[in]; dup {
 			return nil, fmt.Errorf("blif: input %q defined twice", in)
 		}
+		if _, isLatch := latchIn[in]; isLatch {
+			return nil, fmt.Errorf("blif: signal %q is both an input and a latch output", in)
+		}
 		driver[in] = c.AddPI(in)
 	}
 
@@ -134,28 +137,35 @@ func ReadBLIF(r io.Reader) (*Circuit, error) {
 		pend = append(pend, pending{id: id, def: def})
 	}
 
-	// resolve returns the combinational driver of signal s and the number
-	// of latches crossed.
-	var resolve func(s string, hops int) (int, int, error)
-	resolve = func(s string, hops int) (int, int, error) {
-		if hops > len(latches)+1 {
-			return 0, 0, fmt.Errorf("latch cycle through %q", s)
+	// resolve returns the combinational driver of signal s and the number of
+	// latches crossed. It walks the latch chain iteratively — malformed (or
+	// adversarial) inputs can chain thousands of latches, which must not
+	// translate into recursion depth — and bounds the walk by the latch
+	// count, so a latch cycle with no combinational driver is reported
+	// instead of looping.
+	resolve := func(s string) (int, int, error) {
+		cur, w := s, 0
+		for hops := 0; ; hops++ {
+			if id, ok := driver[cur]; ok {
+				return id, w, nil
+			}
+			in, ok := latchIn[cur]
+			if !ok {
+				return 0, 0, fmt.Errorf("undefined signal %q", cur)
+			}
+			if hops >= len(latches) {
+				return 0, 0, fmt.Errorf("latch cycle through %q", s)
+			}
+			cur = in
+			w++
 		}
-		if id, ok := driver[s]; ok {
-			return id, 0, nil
-		}
-		if in, ok := latchIn[s]; ok {
-			id, w, err := resolve(in, hops+1)
-			return id, w + 1, err
-		}
-		return 0, 0, fmt.Errorf("undefined signal %q", s)
 	}
 
 	for _, p := range pend {
 		ins := p.def.signals[:len(p.def.signals)-1]
 		fanins := make([]Fanin, len(ins))
 		for k, s := range ins {
-			id, w, err := resolve(s, 0)
+			id, w, err := resolve(s)
 			if err != nil {
 				return nil, fmt.Errorf("blif: gate %q: %v", p.def.signals[len(p.def.signals)-1], err)
 			}
@@ -164,7 +174,7 @@ func ReadBLIF(r io.Reader) (*Circuit, error) {
 		c.Nodes[p.id].Fanins = fanins
 	}
 	for _, out := range outputs {
-		id, w, err := resolve(out, 0)
+		id, w, err := resolve(out)
 		if err != nil {
 			return nil, fmt.Errorf("blif: output %q: %v", out, err)
 		}

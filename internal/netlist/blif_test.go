@@ -2,6 +2,7 @@ package netlist
 
 import (
 	"bytes"
+	"fmt"
 	"strings"
 	"testing"
 
@@ -114,6 +115,15 @@ func TestReadBLIFConstantsAndPolarity(t *testing.T) {
 	}
 }
 
+// wideSignals returns "a0 a1 ... a<n-1>" for building oversized gates.
+func wideSignals(n int) string {
+	parts := make([]string, n)
+	for i := range parts {
+		parts[i] = fmt.Sprintf("a%d", i)
+	}
+	return strings.Join(parts, " ")
+}
+
 func TestReadBLIFErrors(t *testing.T) {
 	cases := map[string]string{
 		"undefined signal": ".model m\n.inputs a\n.outputs z\n.names b z\n1 1\n.end",
@@ -123,6 +133,23 @@ func TestReadBLIFErrors(t *testing.T) {
 		"bad cube char":    ".model m\n.inputs a\n.outputs z\n.names a z\n2 1\n.end",
 		"cube width":       ".model m\n.inputs a b\n.outputs z\n.names a b z\n1 1\n.end",
 		"comb loop":        ".model m\n.inputs a\n.outputs x\n.names a y x\n11 1\n.names x y\n1 1\n.end",
+		// Hardening cases: malformed inputs that must fail with a
+		// descriptive error rather than a panic or a silently wrong circuit.
+		"truncated cover line":     ".model m\n.inputs a b\n.outputs z\n.names a b z\n1\n.end",
+		"names output twice":       ".model m\n.inputs a\n.outputs z\n.names a z\n1 1\n.names a z\n0 1\n.end",
+		"names redefines input":    ".model m\n.inputs a b\n.outputs b\n.names a b\n1 1\n.end",
+		"latch output twice":       ".model m\n.inputs a\n.outputs q\n.latch a q 0\n.latch a q 0\n.end",
+		"latch redefines input":    ".model m\n.inputs a q\n.outputs q\n.latch a q 0\n.end",
+		"latch redefines names":    ".model m\n.inputs a\n.outputs q\n.names a q\n1 1\n.latch a q 0\n.end",
+		"latch missing fields":     ".model m\n.inputs a\n.outputs q\n.latch a\n.end",
+		"two-latch cycle":          ".model m\n.inputs a\n.outputs p\n.latch q p 0\n.latch p q 0\n.end",
+		"names without output":     ".model m\n.inputs a\n.outputs z\n.names\n.end",
+		"oversized gate":           ".model m\n.inputs " + wideSignals(logic.MaxVars+1) + "\n.outputs z\n.names " + wideSignals(logic.MaxVars+1) + " z\n" + strings.Repeat("1", logic.MaxVars+1) + " 1\n.end",
+		"bad output value":         ".model m\n.inputs a\n.outputs z\n.names a z\n1 x\n.end",
+		"cube outside names":       ".model m\n.inputs a\n.outputs a\n11 1\n.end",
+		"unsupported construct":    ".model m\n.inputs a\n.outputs a\n.subckt foo x=a\n.end",
+		"undefined latch driver":   ".model m\n.inputs a\n.outputs q\n.latch ghost q 0\n.end",
+		"po names undefined chain": ".model m\n.inputs a\n.outputs z\n.latch ghost z 0\n.end",
 	}
 	for name, src := range cases {
 		if _, err := ReadBLIF(strings.NewReader(src)); err == nil {

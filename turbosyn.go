@@ -19,11 +19,13 @@
 package turbosyn
 
 import (
+	"context"
 	"fmt"
 	"io"
 
 	"turbosyn/internal/core"
 	"turbosyn/internal/decomp"
+	"turbosyn/internal/logic"
 	"turbosyn/internal/mapper"
 	"turbosyn/internal/netlist"
 	"turbosyn/internal/retime"
@@ -117,6 +119,73 @@ type Options struct {
 	Cmax     int
 	MaxH     int
 	LowDepth int
+	// TaskGrain is the dataflow scheduler's batching target in node updates
+	// per dispatched task (0 = default of 64). Pure scheduling — results are
+	// bit-identical for every setting (see core.Options.TaskGrain).
+	TaskGrain int
+
+	// Resource budgets (0 = unlimited). By default exhausting a budget
+	// degrades gracefully: the affected node keeps its structural cover, the
+	// event is counted in Stats.Degradations, and the mapping stays valid —
+	// at worst less optimized. See core.Options and DESIGN.md
+	// ("Cancellation, budgets, and fault containment").
+
+	// BDDNodeBudget caps the OBDD built to pre-screen each candidate bound
+	// set during TurboSYN's sequential decomposition.
+	BDDNodeBudget int
+	// RothKarpBudget caps the bound-set candidates examined per
+	// decomposition attempt.
+	RothKarpBudget int
+	// ArenaByteBudget caps each worker scratch arena's retained footprint.
+	ArenaByteBudget int
+	// Strict turns every budget degradation into a *BudgetError instead of
+	// a silent quality loss.
+	Strict bool
+}
+
+// Structured errors surfaced by Synthesize and Feasible. CancelError wraps
+// context cancellation (errors.Is reaches context.Canceled /
+// context.DeadlineExceeded through it) and carries the aborting phase, the
+// best feasible phi proven before the abort and the partial statistics;
+// InternalError is a panic contained at a worker boundary; BudgetError is a
+// resource budget exhausted under Options.Strict.
+type (
+	CancelError   = core.CancelError
+	InternalError = core.InternalError
+	BudgetError   = core.BudgetError
+)
+
+// validate rejects malformed options up front with descriptive errors, so
+// misconfiguration fails fast instead of surfacing as a panic or a silent
+// misbehavior deep inside the label engine. Called after fill, so zero
+// values have already been resolved to defaults.
+func (o Options) validate() error {
+	if o.K < 2 {
+		return fmt.Errorf("turbosyn: K = %d is too small: a LUT needs at least 2 inputs", o.K)
+	}
+	if o.K > logic.MaxVars {
+		return fmt.Errorf("turbosyn: K = %d exceeds the %d-input limit of the truth-table representation", o.K, logic.MaxVars)
+	}
+	if o.Workers < 0 {
+		return fmt.Errorf("turbosyn: Workers = %d is negative; use 0 for all CPUs or 1 for sequential", o.Workers)
+	}
+	if o.TaskGrain < 0 {
+		return fmt.Errorf("turbosyn: TaskGrain = %d is negative; use 0 for the default batching", o.TaskGrain)
+	}
+	if o.Cmax < 0 {
+		return fmt.Errorf("turbosyn: Cmax = %d is negative; use 0 for the paper's default of 15", o.Cmax)
+	}
+	if o.Cmax > logic.MaxVars {
+		return fmt.Errorf("turbosyn: Cmax = %d exceeds the %d-input limit of the truth-table representation", o.Cmax, logic.MaxVars)
+	}
+	if o.MaxH < 0 {
+		return fmt.Errorf("turbosyn: MaxH = %d is negative; use 0 for the default of 4", o.MaxH)
+	}
+	if o.BDDNodeBudget < 0 || o.RothKarpBudget < 0 || o.ArenaByteBudget < 0 {
+		return fmt.Errorf("turbosyn: resource budgets must be non-negative (0 = unlimited); got BDDNodeBudget=%d RothKarpBudget=%d ArenaByteBudget=%d",
+			o.BDDNodeBudget, o.RothKarpBudget, o.ArenaByteBudget)
+	}
+	return nil
 }
 
 // Result is the outcome of Synthesize.
@@ -155,7 +224,20 @@ func (o Options) fill() Options {
 // the selected algorithm and objective, LUT packing and realization by
 // retiming/pipelining.
 func Synthesize(c *Circuit, o Options) (*Result, error) {
+	return SynthesizeContext(context.Background(), c, o)
+}
+
+// SynthesizeContext is Synthesize under a context. Cancellation or deadline
+// expiry aborts the synthesis at the next engine checkpoint — the label
+// engine polls an atomic flag at sweep granularity, so the abort lands well
+// under a second even on large circuits — and returns a *CancelError that
+// wraps the context's error and carries the aborting phase, the best
+// feasible phi proven so far and the partial work statistics.
+func SynthesizeContext(ctx context.Context, c *Circuit, o Options) (*Result, error) {
 	o = o.fill()
+	if err := o.validate(); err != nil {
+		return nil, err
+	}
 	if err := c.Check(); err != nil {
 		return nil, err
 	}
@@ -176,21 +258,26 @@ func Synthesize(c *Circuit, o Options) (*Result, error) {
 		if o.Objective == MinPeriod {
 			return nil, fmt.Errorf("turbosyn: FlowSYN-s supports only the MinRatio objective")
 		}
-		res, err = mapper.FlowSYNS(work, o.K)
+		res, err = mapper.FlowSYNSContext(ctx, work, o.K)
 	default:
 		opts := core.Options{
-			K:           o.K,
-			Cmax:        o.Cmax,
-			MaxH:        o.MaxH,
-			LowDepth:    o.LowDepth,
-			Decompose:   o.Algorithm == TurboSYN,
-			PLD:         !o.NoPLD,
-			Pipelined:   o.Objective == MinRatio,
-			Relax:       !o.NoRelax,
-			Workers:     o.Workers,
-			NoWarmStart: o.NoWarmStart,
+			K:               o.K,
+			Cmax:            o.Cmax,
+			MaxH:            o.MaxH,
+			LowDepth:        o.LowDepth,
+			Decompose:       o.Algorithm == TurboSYN,
+			PLD:             !o.NoPLD,
+			Pipelined:       o.Objective == MinRatio,
+			Relax:           !o.NoRelax,
+			Workers:         o.Workers,
+			NoWarmStart:     o.NoWarmStart,
+			TaskGrain:       o.TaskGrain,
+			BDDNodeBudget:   o.BDDNodeBudget,
+			RothKarpBudget:  o.RothKarpBudget,
+			ArenaByteBudget: o.ArenaByteBudget,
+			Strict:          o.Strict,
 		}
-		res, err = core.Minimize(work, opts)
+		res, err = core.MinimizeContext(ctx, work, opts)
 	}
 	if err != nil {
 		return nil, err
@@ -210,12 +297,22 @@ func Synthesize(c *Circuit, o Options) (*Result, error) {
 		Stats:     res.Stats,
 		Algorithm: o.Algorithm,
 	}
+	// The packing and realization post-passes are fast relative to the
+	// search but not free on large networks; honour cancellation between
+	// phases so a deadline that expires after the search still aborts
+	// promptly with the work done so far attributed to the right phase.
+	if err := phaseCancelled(ctx, "pack", out); err != nil {
+		return nil, err
+	}
 	if !o.NoPack {
 		packed, packedOrig, err := mapper.Pack(res.Mapped, o.K, origOf)
 		if err != nil {
 			return nil, err
 		}
 		out.Mapped, out.OrigOf, out.LUTs = packed, packedOrig, packed.NumGates()
+	}
+	if err := phaseCancelled(ctx, "realize", out); err != nil {
+		return nil, err
 	}
 	if !o.NoRealize {
 		pipeline := o.Objective == MinRatio
@@ -233,6 +330,16 @@ func Synthesize(c *Circuit, o Options) (*Result, error) {
 		out.Latency = make([]int, len(out.Mapped.POs))
 	}
 	return out, nil
+}
+
+// phaseCancelled converts a done context into a *CancelError for a
+// post-search phase; the partial Result so far supplies the best phi and
+// statistics.
+func phaseCancelled(ctx context.Context, phase string, partial *Result) error {
+	if err := ctx.Err(); err != nil {
+		return &CancelError{Phase: phase, BestPhi: partial.Phi, Stats: partial.Stats, Err: err}
+	}
+	return nil
 }
 
 // remapOrigins converts stream origins pointing into the K-bounded circuit
@@ -262,7 +369,15 @@ func remapOrigins(origOf []int, bounded, orig *Circuit) []int {
 // The returned statistics expose the label-computation work, which is how
 // the PLD speedup of Section 4 is measured.
 func Feasible(c *Circuit, phi int, o Options) (bool, core.Stats, error) {
+	return FeasibleContext(context.Background(), c, phi, o)
+}
+
+// FeasibleContext is Feasible under a context (see SynthesizeContext).
+func FeasibleContext(ctx context.Context, c *Circuit, phi int, o Options) (bool, core.Stats, error) {
 	o = o.fill()
+	if err := o.validate(); err != nil {
+		return false, core.Stats{}, err
+	}
 	work := c
 	if !work.IsKBounded(o.K) {
 		var err error
@@ -271,15 +386,20 @@ func Feasible(c *Circuit, phi int, o Options) (bool, core.Stats, error) {
 			return false, core.Stats{}, err
 		}
 	}
-	return core.Feasible(work, phi, core.Options{
-		K:         o.K,
-		Cmax:      o.Cmax,
-		MaxH:      o.MaxH,
-		LowDepth:  o.LowDepth,
-		Decompose: o.Algorithm == TurboSYN,
-		PLD:       !o.NoPLD,
-		Pipelined: o.Objective == MinRatio,
-		Workers:   o.Workers,
+	return core.FeasibleContext(ctx, work, phi, core.Options{
+		K:               o.K,
+		Cmax:            o.Cmax,
+		MaxH:            o.MaxH,
+		LowDepth:        o.LowDepth,
+		Decompose:       o.Algorithm == TurboSYN,
+		PLD:             !o.NoPLD,
+		Pipelined:       o.Objective == MinRatio,
+		Workers:         o.Workers,
+		TaskGrain:       o.TaskGrain,
+		BDDNodeBudget:   o.BDDNodeBudget,
+		RothKarpBudget:  o.RothKarpBudget,
+		ArenaByteBudget: o.ArenaByteBudget,
+		Strict:          o.Strict,
 	})
 }
 
