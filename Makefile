@@ -3,12 +3,23 @@
 
 GO ?= go
 
-.PHONY: build test test-full race chaos fuzz-smoke bench-smoke bench-scale
+.PHONY: build lint test test-full race chaos fuzz-smoke bench-smoke bench-scale trace-smoke
 
 # Compile everything and vet it.
 build:
 	$(GO) build ./...
 	$(GO) vet ./...
+
+# Static analysis beyond vet. staticcheck is not vendored (no new module
+# dependencies); CI installs it, and locally the target degrades to vet-only
+# with a notice when the binary is absent.
+lint:
+	$(GO) vet ./...
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "lint: staticcheck not installed; ran go vet only (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
+	fi
 
 # Fast suite: skips the quick-tables smoke run and the heavier golden cases.
 test:
@@ -29,7 +40,7 @@ race:
 # cancellation-latency contract, repeated under the race detector.
 chaos:
 	$(GO) test -race -count 2 -timeout 20m \
-		-run 'TestInjected|TestRandomizedChaos|TestRealBudgetDegradation|TestGenerousBudgets|TestCancelBeforeStart|TestFeasibleContextCancel' \
+		-run 'TestInjected|TestRandomizedChaos|TestRealBudgetDegradation|TestGenerousBudgets|TestCancelBeforeStart|TestFeasibleContextCancel|TestTraceFlush' \
 		./internal/core
 	$(GO) test -race -count 2 ./internal/faultinject
 	$(GO) test -race -timeout 10m -run 'TestSynthesizeCancel|TestSynthesizeDeadline|TestSynthesizeExpired' .
@@ -43,14 +54,24 @@ fuzz-smoke:
 # not statistics. The Scale benchmarks run j1/jN sub-benchmarks, so the
 # output shows the parallel engine's speedup on whatever machine ran them.
 # The text log is rendered to BENCH_new.json and gated against the committed
-# BENCH_labels.json by `benchjson -delta` (per-benchmark ns/op and B/op
-# ratios; generous time threshold because runners differ, tighter bytes
-# threshold because allocation is machine-independent) before replacing it.
+# BENCH_labels.json by `benchjson -delta` (per-benchmark ns/op, B/op and
+# allocs/op ratios; generous time threshold because runners differ, tighter
+# bytes/allocs thresholds because allocation is machine-independent — and a
+# benchmark that was allocation-free may never start allocating) before
+# replacing it.
 bench-smoke:
 	$(GO) test -bench 'BenchmarkPLD|BenchmarkScale1k|BenchmarkPipeline4k|BenchmarkWarmProbes|BenchmarkColdProbes' -benchtime 1x -benchmem -run '^$$' -timeout 20m . | tee bench-smoke.txt
 	$(GO) run ./cmd/benchjson -o BENCH_new.json < bench-smoke.txt
-	$(GO) run ./cmd/benchjson -delta -max-time-ratio 3.0 -max-bytes-ratio 1.5 BENCH_labels.json BENCH_new.json
+	$(GO) run ./cmd/benchjson -delta -max-time-ratio 3.0 -max-bytes-ratio 1.5 -max-allocs-ratio 1.5 BENCH_labels.json BENCH_new.json
 	mv BENCH_new.json BENCH_labels.json
+
+# Sample observability artifact: synthesize one suite circuit with tracing,
+# logging and progress on, leaving trace.json for inspection (CI uploads it;
+# load it in https://ui.perfetto.dev or chrome://tracing).
+trace-smoke:
+	$(GO) run ./cmd/benchgen -dir benchmarks
+	$(GO) run ./cmd/turbosyn -trace trace.json -log-json -o /dev/null benchmarks/bbara.blif
+	@$(GO) run ./cmd/tracecheck trace.json
 
 # Scheduler scaling only: the Scale1k and deep-pipeline Pipeline4k j1-vs-jN
 # pairs, rendered to BENCH_scale.json. On a multi-core runner the jN numbers

@@ -9,9 +9,13 @@
 //	benchjson -delta old.json new.json
 //
 // Delta mode compares two such documents benchmark by benchmark, printing
-// the new/old ratio of ns/op and B/op for every shared name, and exits
-// nonzero when any ratio exceeds its threshold (-max-time-ratio,
-// -max-bytes-ratio) — the CI regression gate of `make bench-smoke`.
+// the new/old ratio of ns/op, B/op and allocs/op for every shared name, and
+// exits nonzero when any ratio exceeds its threshold (-max-time-ratio,
+// -max-bytes-ratio, -max-allocs-ratio) — the CI regression gate of
+// `make bench-smoke`. A benchmark that was allocation-free and now
+// allocates is always a regression under the allocs gate (the ratio is
+// reported as +Inf), which is how the zero-allocation warm-sweep invariant
+// is enforced at the benchmark level.
 package main
 
 import (
@@ -20,6 +24,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"strconv"
 	"strings"
@@ -89,10 +94,11 @@ func Parse(r io.Reader) (*Doc, error) {
 // DeltaRow is one benchmark's old-vs-new comparison. Ratios are new/old;
 // a ratio is 0 when the metric is absent on either side (nothing to gate).
 type DeltaRow struct {
-	Name       string
-	TimeRatio  float64 // ns/op new/old
-	BytesRatio float64 // B/op new/old
-	OnlyIn     string  // "old" or "new" when the name is not shared, else ""
+	Name        string
+	TimeRatio   float64 // ns/op new/old
+	BytesRatio  float64 // B/op new/old
+	AllocsRatio float64 // allocs/op new/old; +Inf when 0 allocs grew to >0
+	OnlyIn      string  // "old" or "new" when the name is not shared, else ""
 }
 
 // ratio returns new/old for one metric, or 0 when it cannot be formed.
@@ -101,6 +107,25 @@ func ratio(oldM, newM map[string]float64, unit string) float64 {
 	n, okN := newM[unit]
 	if !okO || !okN || o <= 0 {
 		return 0
+	}
+	return n / o
+}
+
+// allocsRatio is ratio for allocs/op with one extra rule: an old count of
+// exactly zero is meaningful (the zero-allocation invariant), so growing from
+// 0 to anything positive reports +Inf — always beyond any finite threshold —
+// instead of the generic "cannot be formed" 0.
+func allocsRatio(oldM, newM map[string]float64) float64 {
+	o, okO := oldM["allocs/op"]
+	n, okN := newM["allocs/op"]
+	if !okO || !okN {
+		return 0
+	}
+	if o == 0 {
+		if n > 0 {
+			return math.Inf(1)
+		}
+		return 1
 	}
 	return n / o
 }
@@ -122,9 +147,10 @@ func Delta(oldDoc, newDoc *Doc) []DeltaRow {
 			continue
 		}
 		rows = append(rows, DeltaRow{
-			Name:       nb.Name,
-			TimeRatio:  ratio(ob.Metrics, nb.Metrics, "ns/op"),
-			BytesRatio: ratio(ob.Metrics, nb.Metrics, "B/op"),
+			Name:        nb.Name,
+			TimeRatio:   ratio(ob.Metrics, nb.Metrics, "ns/op"),
+			BytesRatio:  ratio(ob.Metrics, nb.Metrics, "B/op"),
+			AllocsRatio: allocsRatio(ob.Metrics, nb.Metrics),
 		})
 	}
 	for _, ob := range oldDoc.Benchmarks {
@@ -138,21 +164,22 @@ func Delta(oldDoc, newDoc *Doc) []DeltaRow {
 // FormatDelta renders the comparison table and returns the number of rows
 // whose ratio exceeds its threshold (0 disables a gate). Regressing rows
 // are marked REGRESSED.
-func FormatDelta(w io.Writer, rows []DeltaRow, maxTime, maxBytes float64) (regressions int) {
-	fmt.Fprintf(w, "%-44s %12s %12s\n", "benchmark", "ns/op new/old", "B/op new/old")
+func FormatDelta(w io.Writer, rows []DeltaRow, maxTime, maxBytes, maxAllocs float64) (regressions int) {
+	fmt.Fprintf(w, "%-44s %13s %12s %15s\n", "benchmark", "ns/op new/old", "B/op new/old", "allocs new/old")
 	for _, r := range rows {
 		if r.OnlyIn != "" {
 			fmt.Fprintf(w, "%-44s only in %s\n", r.Name, r.OnlyIn)
 			continue
 		}
 		bad := (maxTime > 0 && r.TimeRatio > maxTime) ||
-			(maxBytes > 0 && r.BytesRatio > maxBytes)
+			(maxBytes > 0 && r.BytesRatio > maxBytes) ||
+			(maxAllocs > 0 && r.AllocsRatio > maxAllocs)
 		mark := ""
 		if bad {
 			mark = "  REGRESSED"
 			regressions++
 		}
-		fmt.Fprintf(w, "%-44s %13.3f %12.3f%s\n", r.Name, r.TimeRatio, r.BytesRatio, mark)
+		fmt.Fprintf(w, "%-44s %13.3f %12.3f %15.3f%s\n", r.Name, r.TimeRatio, r.BytesRatio, r.AllocsRatio, mark)
 	}
 	return regressions
 }
@@ -174,6 +201,7 @@ func main() {
 	delta := flag.Bool("delta", false, "compare two benchmark JSON files: benchjson -delta old.json new.json")
 	maxTime := flag.Float64("max-time-ratio", 3.0, "delta mode: fail when ns/op grows beyond this new/old ratio (0 disables)")
 	maxBytes := flag.Float64("max-bytes-ratio", 1.5, "delta mode: fail when B/op grows beyond this new/old ratio (0 disables)")
+	maxAllocs := flag.Float64("max-allocs-ratio", 1.5, "delta mode: fail when allocs/op grows beyond this new/old ratio (0 disables; 0 allocs growing to any is always a failure)")
 	flag.Parse()
 
 	if *delta {
@@ -188,9 +216,9 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		if n := FormatDelta(os.Stdout, Delta(oldDoc, newDoc), *maxTime, *maxBytes); n > 0 {
-			fatal(fmt.Errorf("%d benchmark(s) regressed beyond thresholds (ns/op > %gx or B/op > %gx)",
-				n, *maxTime, *maxBytes))
+		if n := FormatDelta(os.Stdout, Delta(oldDoc, newDoc), *maxTime, *maxBytes, *maxAllocs); n > 0 {
+			fatal(fmt.Errorf("%d benchmark(s) regressed beyond thresholds (ns/op > %gx, B/op > %gx or allocs/op > %gx)",
+				n, *maxTime, *maxBytes, *maxAllocs))
 		}
 		return
 	}

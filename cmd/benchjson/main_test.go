@@ -1,6 +1,7 @@
 package main
 
 import (
+	"math"
 	"strings"
 	"testing"
 )
@@ -92,8 +93,46 @@ func TestDeltaMissingMetricIsNotGated(t *testing.T) {
 		t.Fatalf("missing metrics must give zero ratios, got %+v", rows[0])
 	}
 	var buf strings.Builder
-	if n := FormatDelta(&buf, rows, 1.1, 1.1); n != 0 {
+	if n := FormatDelta(&buf, rows, 1.1, 1.1, 1.1); n != 0 {
 		t.Fatalf("ungated row counted as regression:\n%s", buf.String())
+	}
+}
+
+func bmAllocs(name string, allocs float64) Benchmark {
+	return Benchmark{Name: name, N: 1, Metrics: map[string]float64{
+		"ns/op": 100, "B/op": 100, "allocs/op": allocs,
+	}}
+}
+
+func TestDeltaAllocsRatio(t *testing.T) {
+	oldDoc := &Doc{Benchmarks: []Benchmark{
+		bmAllocs("Grew", 100),
+		bmAllocs("ZeroStillZero", 0),
+		bmAllocs("ZeroNowAllocates", 0),
+	}}
+	newDoc := &Doc{Benchmarks: []Benchmark{
+		bmAllocs("Grew", 200),
+		bmAllocs("ZeroStillZero", 0),
+		bmAllocs("ZeroNowAllocates", 1),
+	}}
+	rows := Delta(oldDoc, newDoc)
+	if rows[0].AllocsRatio != 2.0 {
+		t.Fatalf("Grew allocs ratio = %v, want 2", rows[0].AllocsRatio)
+	}
+	if rows[1].AllocsRatio != 1.0 {
+		t.Fatalf("ZeroStillZero allocs ratio = %v, want 1", rows[1].AllocsRatio)
+	}
+	if !math.IsInf(rows[2].AllocsRatio, 1) {
+		t.Fatalf("ZeroNowAllocates allocs ratio = %v, want +Inf", rows[2].AllocsRatio)
+	}
+	// At the default 1.5x both the doubling and the 0 -> 1 jump trip.
+	var buf strings.Builder
+	if n := FormatDelta(&buf, rows, 0, 0, 1.5); n != 2 {
+		t.Fatalf("allocs gate at 1.5x flagged %d rows, want 2:\n%s", n, buf.String())
+	}
+	// The 0 -> 1 jump must trip any positive threshold, however generous.
+	if n := FormatDelta(&strings.Builder{}, rows, 0, 0, 1000); n != 1 {
+		t.Fatalf("allocs gate at 1000x flagged %d rows, want only the 0->1 jump", n)
 	}
 }
 
@@ -105,7 +144,7 @@ func TestFormatDeltaFlagsRegressions(t *testing.T) {
 		{Name: "New", OnlyIn: "new"},
 	}
 	var buf strings.Builder
-	n := FormatDelta(&buf, rows, 3.0, 1.5)
+	n := FormatDelta(&buf, rows, 3.0, 1.5, 1.5)
 	if n != 2 {
 		t.Fatalf("regressions = %d, want 2:\n%s", n, buf.String())
 	}
@@ -120,7 +159,7 @@ func TestFormatDeltaFlagsRegressions(t *testing.T) {
 		t.Fatalf("new-only benchmark not reported:\n%s", out)
 	}
 	// Disabled gates (0) must never fire.
-	if n := FormatDelta(&strings.Builder{}, rows, 0, 0); n != 0 {
+	if n := FormatDelta(&strings.Builder{}, rows, 0, 0, 0); n != 0 {
 		t.Fatalf("disabled thresholds still flagged %d rows", n)
 	}
 }

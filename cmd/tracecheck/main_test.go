@@ -1,0 +1,44 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCheckValid(t *testing.T) {
+	tr, err := check([]byte(`{
+		"traceEvents": [
+			{"name": "process_name", "ph": "M", "pid": 1, "args": {"name": "turbosyn"}},
+			{"name": "probe", "ph": "X", "ts": 10, "dur": 5.5, "pid": 1, "tid": 2},
+			{"name": "cache-hit", "ph": "i", "ts": 12, "s": "t", "pid": 1, "tid": 2}
+		],
+		"otherData": {"droppedEvents": "7"}
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.TraceEvents) != 3 {
+		t.Fatalf("got %d events, want 3", len(tr.TraceEvents))
+	}
+}
+
+func TestCheckRejects(t *testing.T) {
+	for name, tc := range map[string]struct {
+		in   string
+		want string
+	}{
+		"garbage":      {`not json`, "not valid trace JSON"},
+		"empty":        {`{"traceEvents": []}`, "no events"},
+		"spanNoDur":    {`{"traceEvents": [{"name": "x", "ph": "X", "ts": 1, "pid": 1, "tid": 1}]}`, "without dur"},
+		"negativeTs":   {`{"traceEvents": [{"name": "x", "ph": "i", "ts": -1, "pid": 1, "tid": 1}]}`, "negative ts"},
+		"noThread":     {`{"traceEvents": [{"name": "x", "ph": "i", "ts": 1}]}`, "missing pid/tid"},
+		"unknownPhase": {`{"traceEvents": [{"name": "x", "ph": "B", "ts": 1, "pid": 1, "tid": 1}]}`, "unknown phase"},
+	} {
+		t.Run(name, func(t *testing.T) {
+			_, err := check([]byte(tc.in))
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("err = %v, want substring %q", err, tc.want)
+			}
+		})
+	}
+}

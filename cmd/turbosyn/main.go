@@ -13,9 +13,12 @@ package main
 import (
 	"context"
 	"errors"
+	"expvar"
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
+	"net/http"
 	"os"
 	"os/signal"
 	"runtime"
@@ -43,6 +46,11 @@ func main() {
 		rkBudget   = flag.Int("rk-budget", 0, "max Roth-Karp bound-set candidates per decomposition attempt (0 = unlimited)")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file (samples carry a per-stage 'phase' label)")
 		memProfile = flag.String("memprofile", "", "write an allocation profile to this file after synthesis")
+
+		traceOut    = flag.String("trace", "", "write a Chrome/Perfetto trace (JSON) of the run to this file; written even when the run aborts")
+		verbose     = flag.Bool("v", false, "structured logging to stderr at debug level (per-probe verdicts, phase changes)")
+		logJSON     = flag.Bool("log-json", false, "emit structured logs as JSON (info level; combine with -v for debug)")
+		metricsAddr = flag.String("metrics-addr", "", "serve live run metrics on this address (/metrics Prometheus text, /debug/vars expvar)")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -104,11 +112,63 @@ func main() {
 	}
 	opts.NoRealize = *raw
 
+	// Observability wiring. The progress stream is always on and its latest
+	// snapshot (held by the Metrics republisher) is the single source of
+	// truth for live metrics and the partial-progress report on abort.
+	met := &turbosyn.Metrics{}
+	opts.Progress = met.Update
+	if *verbose || *logJSON {
+		level := slog.LevelInfo
+		if *verbose {
+			level = slog.LevelDebug
+		}
+		hopts := &slog.HandlerOptions{Level: level}
+		if *logJSON {
+			opts.Logger = slog.New(slog.NewJSONHandler(os.Stderr, hopts))
+		} else {
+			opts.Logger = slog.New(slog.NewTextHandler(os.Stderr, hopts))
+		}
+	}
+	if *traceOut != "" {
+		// A generous per-worker ring (~1.5 MiB each) so typical runs retain
+		// every span; long runs wrap and keep the most recent events, with
+		// the drop count reported in the trace's otherData.
+		opts.Trace = turbosyn.NewTraceRecorder(1 << 15)
+	}
+	// writeTrace flushes the recorded spans; safe on every exit path because
+	// the engine joins all its goroutines before SynthesizeContext returns,
+	// aborts included.
+	writeTrace := func() {
+		if opts.Trace == nil {
+			return
+		}
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := opts.Trace.WriteTrace(f, met.Latest().RunID); err != nil {
+			fatal(err)
+		}
+	}
+	if *metricsAddr != "" {
+		expvar.Publish("turbosyn", expvar.Func(met.Expvar))
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", met)
+		mux.Handle("/debug/vars", expvar.Handler())
+		go func() {
+			if err := http.ListenAndServe(*metricsAddr, mux); err != nil {
+				fmt.Fprintln(os.Stderr, "turbosyn: metrics server:", err)
+			}
+		}()
+	}
+
 	// Ctrl-C (and -timeout) cancel the synthesis gracefully: the engine
-	// aborts at its next checkpoint and the CancelError below still reports
-	// the phase reached, the best phi proven and the partial statistics. A
-	// second Ctrl-C kills the process the usual way (signal.NotifyContext
-	// restores the default handler once the context is done).
+	// aborts at its next checkpoint and the final progress snapshot below
+	// still reports the phase reached, the best phi proven and the partial
+	// work counters. A second Ctrl-C kills the process the usual way
+	// (signal.NotifyContext restores the default handler once the context is
+	// done).
 	ctx, cancelSignals := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer cancelSignals()
 	if *timeout > 0 {
@@ -120,16 +180,21 @@ func main() {
 	start := time.Now()
 	res, err := turbosyn.SynthesizeContext(ctx, c, opts)
 	if err != nil {
+		writeTrace()
 		var ce *turbosyn.CancelError
 		if errors.As(err, &ce) {
+			// The final Done snapshot is delivered before SynthesizeContext
+			// returns, so this is the run's complete partial-progress record.
+			s := met.Latest()
 			fmt.Fprintf(os.Stderr,
-				"turbosyn: %s: aborted during %s after %v (%v): best phi so far %s, %d iterations, %d cut checks\n",
-				c.Name, ce.Phase, time.Since(start).Round(time.Millisecond), ce.Err,
-				phiString(ce.BestPhi), ce.Stats.Iterations, ce.Stats.CutChecks)
+				"turbosyn: %s: aborted during %s after %v (%v): best phi so far %s, %d iterations, %d/%d probes, %d degradations\n",
+				c.Name, s.Phase, s.Elapsed.Round(time.Millisecond), ce.Err,
+				phiString(s.BestPhi), s.Iterations, s.ProbesFinished, s.ProbesLaunched, s.Degradations)
 			os.Exit(1)
 		}
 		fatal(err)
 	}
+	writeTrace()
 	fmt.Fprintf(os.Stderr,
 		"%s: %v phi=%d luts=%d latency=%v cpu=%v (in: %d gates, %d FFs)\n",
 		c.Name, res.Algorithm, res.Phi, res.LUTs, res.Latency,

@@ -5,6 +5,7 @@ import (
 
 	"turbosyn/internal/decomp"
 	"turbosyn/internal/netlist"
+	"turbosyn/internal/obs"
 )
 
 // TestWarmLabelSweepZeroAlloc pins the tentpole property of the scratch
@@ -14,49 +15,73 @@ import (
 // (Decompose off); resynthesis attempts and recording passes are documented
 // to allocate (cone truth tables, replica lists and cache keys outlive the
 // arena) and are pinned only indirectly through the benchmarks.
+//
+// The property must hold in both observability configurations: with tracing
+// off, the obs hooks are single nil checks; with tracing on, every event is a
+// slot write into the worker's pre-allocated ring (obs package overhead
+// contract), so enabling -trace must not reintroduce allocation either.
 func TestWarmLabelSweepZeroAlloc(t *testing.T) {
-	c := fsmCircuit(2, 7, 4)()
-	opts := DefaultOptions()
-	opts.Decompose = false
-	opts.Workers = 1
-	if !c.IsKBounded(opts.K) {
-		var err error
-		if c, err = decomp.KBound(c, opts.K); err != nil {
-			t.Fatal(err)
-		}
-	}
-	s := newState(c, 2, opts)
-	if ok, err := s.run(); err != nil || !ok {
-		t.Fatalf("phi=2 must be feasible for the suite FSM (ok=%v err=%v)", ok, err)
-	}
-
-	var updatable []int
-	for _, id := range s.order {
-		n := s.c.Nodes[id]
-		if n.Kind != netlist.PI && len(n.Fanins) > 0 {
-			updatable = append(updatable, id)
-		}
-	}
-	ar := s.arenaFor(0)
-	var st Stats
-	sweep := func() {
-		// Invalidate the decision cache so every node re-runs the full
-		// expand + flow decision instead of short-circuiting.
-		for i := range s.decided {
-			s.decided[i] = false
-			s.lastL[i] = -labelInf
-		}
-		for _, id := range updatable {
-			if s.update(id, false, &st, ar) {
-				t.Fatal("labels moved after convergence")
+	for _, tc := range []struct {
+		name string
+		rec  *obs.Recorder
+	}{
+		{"obs-disabled", nil},
+		{"obs-enabled", obs.NewRecorder(0)},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			c := fsmCircuit(2, 7, 4)()
+			opts := DefaultOptions()
+			opts.Decompose = false
+			opts.Workers = 1
+			opts.Trace = tc.rec
+			if !c.IsKBounded(opts.K) {
+				var err error
+				if c, err = decomp.KBound(c, opts.K); err != nil {
+					t.Fatal(err)
+				}
 			}
-		}
-	}
-	sweep() // warm the arena to its high-water mark
-	if allocs := testing.AllocsPerRun(20, sweep); allocs != 0 {
-		t.Fatalf("warm structural label sweep allocates %.1f objects/run, want 0", allocs)
-	}
-	if st.ExpandBuilds == 0 || st.CutChecks == 0 {
-		t.Fatalf("sweep did no decisions (builds=%d, checks=%d)", st.ExpandBuilds, st.CutChecks)
+			s := newState(c, 2, opts)
+			if ok, err := s.run(); err != nil || !ok {
+				t.Fatalf("phi=2 must be feasible for the suite FSM (ok=%v err=%v)", ok, err)
+			}
+
+			var updatable []int
+			for _, id := range s.order {
+				n := s.c.Nodes[id]
+				if n.Kind != netlist.PI && len(n.Fanins) > 0 {
+					updatable = append(updatable, id)
+				}
+			}
+			ar := s.arenaFor(0)
+			if (ar.ring != nil) != (tc.rec != nil) {
+				t.Fatalf("arena ring attached = %v, want %v", ar.ring != nil, tc.rec != nil)
+			}
+			var st Stats
+			sweep := func() {
+				// Invalidate the decision cache so every node re-runs the full
+				// expand + flow decision instead of short-circuiting.
+				for i := range s.decided {
+					s.decided[i] = false
+					s.lastL[i] = -labelInf
+				}
+				for _, id := range updatable {
+					if s.update(id, false, &st, ar) {
+						t.Fatal("labels moved after convergence")
+					}
+				}
+			}
+			sweep() // warm the arena to its high-water mark
+			if allocs := testing.AllocsPerRun(20, sweep); allocs != 0 {
+				t.Fatalf("warm structural label sweep allocates %.1f objects/run, want 0", allocs)
+			}
+			if st.ExpandBuilds == 0 || st.CutChecks == 0 {
+				t.Fatalf("sweep did no decisions (builds=%d, checks=%d)", st.ExpandBuilds, st.CutChecks)
+			}
+			if tc.rec != nil {
+				if events, _ := tc.rec.Totals(); events == 0 {
+					t.Fatal("tracing enabled but the sweep recorded no events")
+				}
+			}
+		})
 	}
 }

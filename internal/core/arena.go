@@ -1,9 +1,12 @@
 package core
 
 import (
+	"fmt"
+
 	"turbosyn/internal/cut"
 	"turbosyn/internal/expand"
 	"turbosyn/internal/logic"
+	"turbosyn/internal/obs"
 )
 
 // arena is the per-worker scratch of the label hot path: one expansion
@@ -40,13 +43,19 @@ type arena struct {
 	// -1 between decisions. Read only by the panic-containment boundary
 	// (safeRunComp) to attribute a contained panic to a node.
 	curNode int
+
+	// ring is the owning worker's trace buffer, nil unless Options.Trace is
+	// set. Single-owner like the rest of the arena: only the goroutine
+	// running on this arena writes it, and the recorder reads it after the
+	// run's goroutines have been joined.
+	ring *obs.Ring
 }
 
 // reset releases every retained array back to the allocator (the
 // ArenaByteBudget degradation). The arena stays usable; it just re-grows
 // from cold on its next use.
 func (ar *arena) reset() {
-	*ar = arena{curNode: ar.curNode}
+	*ar = arena{curNode: ar.curNode, ring: ar.ring}
 }
 
 // bytes reports the approximate footprint of the arena's retained arrays
@@ -58,9 +67,16 @@ func (ar *arena) bytes() int {
 }
 
 // arenaFor returns the worker's scratch arena, creating it on first use.
+// Creation is the cold path where the worker's trace ring is attached too:
+// one ring per (probe, worker), labelled by the probe's phi so a trace
+// groups each probe's workers together.
 func (s *state) arenaFor(w int) *arena {
 	for len(s.arenas) <= w {
-		s.arenas = append(s.arenas, &arena{curNode: -1})
+		ar := &arena{curNode: -1}
+		if s.rec != nil {
+			ar.ring = s.rec.NewRing(fmt.Sprintf("phi=%d worker %d", s.phi, len(s.arenas)))
+		}
+		s.arenas = append(s.arenas, ar)
 	}
 	return s.arenas[w]
 }

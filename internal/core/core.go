@@ -24,10 +24,12 @@ package core
 
 import (
 	"fmt"
+	"log/slog"
 	"runtime"
 
 	"turbosyn/internal/logic"
 	"turbosyn/internal/netlist"
+	"turbosyn/internal/obs"
 	"turbosyn/internal/stats"
 )
 
@@ -115,6 +117,24 @@ type Options struct {
 	// Strict turns every budget degradation into a *BudgetError instead of
 	// a silent quality loss: exhausted budgets abort the run.
 	Strict bool
+
+	// Observability (all disabled by default; none of it changes results —
+	// the engine is bit-identical with every combination on or off, and the
+	// hooks cost one pointer check each when off. See DESIGN.md §8).
+
+	// Trace, when non-nil, records probe/component/stage spans and cache,
+	// degradation and cancellation events into per-worker ring buffers for
+	// Chrome/Perfetto export (Recorder.WriteTrace). Spans are flushed on
+	// every exit path, including *CancelError / *InternalError aborts.
+	Trace *obs.Recorder
+	// Progress, when non-nil, is the run's progress tracker: the engine
+	// installs its live-counter sampler and reports phase transitions and
+	// best-phi improvements through it. The caller owns Start/Finish.
+	Progress *obs.Progress
+	// Logger, when non-nil, receives structured run/probe-granularity log
+	// records (never per-node events). Attach run-identifying fields with
+	// Logger.With before passing it in.
+	Logger *slog.Logger
 }
 
 func (o Options) withDefaults() Options {
@@ -178,6 +198,11 @@ type Stats struct {
 	ArenaPeakBytes int // high-water footprint of the busiest scratch arena
 	WarmStarts     int // search probes seeded from a neighbouring probe's labels
 
+	// BoundSetsExamined counts the candidate bound sets Roth-Karp window
+	// scans actually examined (decomposition-cache hits replay none); the
+	// per-attempt counts also annotate decompose spans in exported traces.
+	BoundSetsExamined int
+
 	// Degradations counts budget exhaustions absorbed by graceful
 	// degradation: nodes whose resynthesis was skipped or truncated by
 	// BDDNodeBudget/RothKarpBudget, and arenas released by ArenaByteBudget.
@@ -196,6 +221,10 @@ type Stats struct {
 	CacheShardMisses   int // sharded decomposition-cache misses
 	ProbesLaunched     int // feasibility probes started by the search
 	ProbesCancelled    int // speculative probes cancelled (lost branch)
+
+	// Trace-recorder accounting (zero when Options.Trace is nil).
+	TraceEvents  int // events recorded across all per-worker rings
+	TraceDropped int // events overwritten by ring wrap (lost from the trace)
 }
 
 // Add accumulates s2 into s.
@@ -212,6 +241,7 @@ func (s *Stats) Add(s2 Stats) {
 		s.ArenaPeakBytes = s2.ArenaPeakBytes
 	}
 	s.WarmStarts += s2.WarmStarts
+	s.BoundSetsExamined += s2.BoundSetsExamined
 	s.Degradations += s2.Degradations
 	if s2.Workers > s.Workers {
 		s.Workers = s2.Workers
@@ -229,6 +259,12 @@ func (s *Stats) Add(s2 Stats) {
 	s.CacheShardMisses += s2.CacheShardMisses
 	s.ProbesLaunched += s2.ProbesLaunched
 	s.ProbesCancelled += s2.ProbesCancelled
+	if s2.TraceEvents > s.TraceEvents {
+		s.TraceEvents = s2.TraceEvents
+	}
+	if s2.TraceDropped > s.TraceDropped {
+		s.TraceDropped = s2.TraceDropped
+	}
 }
 
 // fold merges a scheduler-counter snapshot into s. Called once per public

@@ -13,7 +13,7 @@ import (
 	"turbosyn/internal/graph"
 	"turbosyn/internal/logic"
 	"turbosyn/internal/netlist"
-	"turbosyn/internal/prof"
+	"turbosyn/internal/obs"
 	"turbosyn/internal/stats"
 )
 
@@ -60,6 +60,10 @@ type state struct {
 	// It is safe to share across workers and probes (see cache.go).
 	cache *decompCache
 	conc  *stats.Concurrency
+	// rec, when non-nil, is the run's span recorder (Options.Trace). Worker
+	// arenas attach their rings from it; nil keeps every hook a single
+	// pointer check.
+	rec *obs.Recorder
 
 	// workers bounds the per-level worker pool; 1 selects the strictly
 	// sequential sweep. Both paths compute bit-identical labels and covers.
@@ -115,6 +119,7 @@ func newState(c *netlist.Circuit, phi int, opts Options) *state {
 		bumps:      make([]int, c.NumNodes()),
 		nextDecomp: make([]int, c.NumNodes()),
 		conc:       &stats.Concurrency{},
+		rec:        opts.Trace,
 		workers:    opts.workerCount(),
 		recs:       make([]coverRec, c.NumNodes()),
 	}
@@ -202,13 +207,19 @@ func (s *state) finishRun(ok bool) (bool, error) {
 // degrade absorbs one resource-budget exhaustion: counted in
 // st.Degradations by default (the node falls back to the structural
 // feasibility check), fatal under Options.Strict. It reports whether the
-// run continues gracefully.
-func (s *state) degrade(st *Stats, resource string, node, limit int) bool {
+// run continues gracefully. Graceful degradations emit a trace instant and
+// bump the live counter so progress reports and traces show quality loss as
+// it happens.
+func (s *state) degrade(st *Stats, ar *arena, resource string, node, limit int) bool {
 	if s.opts.Strict {
 		s.fails.fail(&BudgetError{Resource: resource, Node: node, Limit: limit})
 		return false
 	}
 	st.Degradations++
+	s.conc.AddDegradation()
+	if ar.ring != nil {
+		ar.ring.Instant(obs.OpDegrade, int64(node), int64(limit))
+	}
 	return true
 }
 
@@ -238,6 +249,7 @@ func (s *state) computeL(v int) int {
 // members and upstream components, and upstream components are final before
 // the component starts in either schedule.
 func (s *state) run() (bool, error) {
+	defer s.conc.AddProbeFinished()
 	s.failed.Store(false)
 	if s.workers > 1 && s.opts.IterBudget <= 0 {
 		return s.runParallel()
@@ -309,16 +321,31 @@ func (s *state) safeRunComp(comp int, st *Stats, ar *arena) (out compOutcome) {
 // invocations on dependency-free components with distinct arenas are
 // disjoint.
 func (s *state) runComp(comp int, st *Stats, ar *arena) compOutcome {
+	var t0 int64
+	if ar.ring != nil {
+		t0 = ar.ring.Now()
+	}
+	iterBefore := st.Iterations
 	out := s.iterateComp(comp, st, ar)
+	if ar.ring != nil {
+		// Close the stage span left open by the sweep, then wrap the whole
+		// component run in one span (args: component id, iteration count).
+		ar.ring.ClosePhase()
+		ar.ring.Span(obs.OpComp, t0, int64(comp), int64(st.Iterations-iterBefore))
+		if out == compCancelled {
+			ar.ring.Instant(obs.OpCancel, int64(comp), -1)
+		}
+	}
 	b := ar.bytes()
 	if b > st.ArenaPeakBytes {
 		st.ArenaPeakBytes = b
 	}
+	s.conc.ObserveArenaBytes(b)
 	if lim := s.opts.ArenaByteBudget; lim > 0 && b > lim {
 		// The arena outgrew its budget: release the retained scratch back to
 		// the allocator. Arenas are pure scratch, so results are unaffected;
 		// the worker merely re-grows warm arrays on its next component.
-		if s.degrade(st, "arena-bytes", -1, lim) {
+		if s.degrade(st, ar, "arena-bytes", -1, lim) {
 			ar.reset()
 		}
 	}
@@ -335,7 +362,7 @@ func (s *state) iterateComp(comp int, st *Stats, ar *arena) compOutcome {
 	// 6n-iteration PLD below together form the fast detection suite that
 	// Options.PLD toggles; without it only the conservative per-SCC n^2
 	// stopping rule of SeqMapII remains (the paper's 10-50x comparison).
-	prof.Phase(prof.PhaseLabel)
+	phase(ar, obs.OpLabel)
 	maxLabel := s.c.NumNodes() + 2
 	members := s.memberOrder[comp]
 	updatable := ar.updatable[:0]
@@ -383,6 +410,7 @@ func (s *state) iterateComp(comp int, st *Stats, ar *arena) compOutcome {
 			return compInfeasible
 		}
 		st.Iterations++
+		s.conc.AddIteration()
 		changed := false
 		for ui, id := range updatable {
 			if ui&checkpointMask == checkpointMask && s.stopped() {
@@ -392,11 +420,15 @@ func (s *state) iterateComp(comp int, st *Stats, ar *arena) compOutcome {
 				changed = true
 			}
 		}
+		// The live "nodes labeled" gauge pays one atomic add per sweep, not
+		// per node — the hot path stays untouched.
+		s.conc.AddNodeUpdates(len(updatable))
 		if !changed {
 			// Recording pass: re-decide everything at the converged
 			// labels and keep the covers. A change here means the
 			// Gauss-Seidel sweep raced itself; keep iterating.
 			st.Iterations++
+			s.conc.AddIteration()
 			for ui, id := range updatable {
 				if ui&checkpointMask == checkpointMask && s.stopped() {
 					return compCancelled
@@ -405,6 +437,7 @@ func (s *state) iterateComp(comp int, st *Stats, ar *arena) compOutcome {
 					changed = true
 				}
 			}
+			s.conc.AddNodeUpdates(len(updatable))
 			if !changed {
 				return compConverged
 			}
@@ -418,9 +451,9 @@ func (s *state) iterateComp(comp int, st *Stats, ar *arena) compOutcome {
 			}
 			if iter+1 >= pldFrom {
 				st.PLDChecks++
-				prof.Phase(prof.PhasePLD)
+				phase(ar, obs.OpPLD)
 				isolated := s.sccIsolated(comp, ar)
-				prof.Phase(prof.PhaseLabel)
+				phase(ar, obs.OpLabel)
 				if isolated {
 					st.PLDHits++
 					return compInfeasible
@@ -476,13 +509,13 @@ func (s *state) decide(id, L int, record bool, st *Stats, ar *arena) (int, cover
 	st.CutChecks++
 	faultinject.CutCheck()
 	st.ExpandBuilds++
-	prof.Phase(prof.PhaseExpand)
+	phase(ar, obs.OpExpand)
 	x, built := ar.xb.Build(s.c, id, s.labels, s.phi, L, xopts)
 	ar.built, ar.builtL = built, L
 	if built {
-		prof.Phase(prof.PhaseFlow)
+		phase(ar, obs.OpFlow)
 		res, ok := ar.ca.KCut(x, s.opts.K)
-		prof.Phase(prof.PhaseLabel)
+		phase(ar, obs.OpLabel)
 		if ok {
 			var rec coverRec
 			if record {
@@ -491,7 +524,7 @@ func (s *state) decide(id, L int, record bool, st *Stats, ar *arena) (int, cover
 			return L, rec
 		}
 	} else {
-		prof.Phase(prof.PhaseLabel)
+		phase(ar, obs.OpLabel)
 	}
 	// TurboSYN: resynthesize a wider, lower cut. Fast passes back off on
 	// label-pumping nodes (see the field comment); recording passes always
@@ -522,16 +555,16 @@ func (s *state) decide(id, L int, record bool, st *Stats, ar *arena) (int, cover
 			// The expansion at bound L (or a tighter probe) overflowed the
 			// node cap; the L+1 region is smaller and may still fit.
 			st.ExpandBuilds++
-			prof.Phase(prof.PhaseExpand)
+			phase(ar, obs.OpExpand)
 			var ok bool
 			x, ok = ar.xb.Build(s.c, id, s.labels, s.phi, L+1, xopts)
 			if !ok {
 				panic("core: cannot expand for the trivial cut")
 			}
 		}
-		prof.Phase(prof.PhaseFlow)
+		phase(ar, obs.OpFlow)
 		res, ok := ar.ca.KCut(x, s.opts.K)
-		prof.Phase(prof.PhaseLabel)
+		phase(ar, obs.OpLabel)
 		if !ok {
 			panic("core: the direct-fanin cut must exist at height L+1")
 		}
@@ -557,26 +590,30 @@ func (s *state) tryDecompose(id, L int, st *Stats, ar *arena) (*decomp.Tree, []R
 		// Injected budget exhaustion: behave exactly like a real one — the
 		// node degrades to the structural feasibility check (or aborts under
 		// Strict).
-		s.degrade(st, "injected", id, 0)
+		s.degrade(st, ar, "injected", id, 0)
 		return nil, nil, false
 	}
+	// estats collects the decomposer's effort counters (bound sets actually
+	// examined); observability only, never part of the cache key.
+	var estats decomp.EffortStats
+	defer func() { st.BoundSetsExamined += estats.BoundSetsExamined }()
 	for h := 1; h <= s.opts.MaxH; h++ {
-		prof.Phase(prof.PhaseExpand)
+		phase(ar, obs.OpExpand)
 		x, ok := ar.xb.Tighten(L - h)
 		if !ok {
 			// The extension overflowed the node cap mid-relaxation, leaving
 			// the region partially extended; flag the expansion unusable so
 			// decide's settle path rebuilds instead of re-marking it.
 			ar.built = false
-			prof.Phase(prof.PhaseLabel)
+			phase(ar, obs.OpLabel)
 			return nil, nil, false
 		}
 		st.ExpandReuses++
-		prof.Phase(prof.PhaseFlow)
+		phase(ar, obs.OpFlow)
 		res, okCut := ar.ca.MinCut(x, s.opts.Cmax)
-		prof.Phase(prof.PhaseDecompose)
+		phase(ar, obs.OpDecompose)
 		if !okCut {
-			prof.Phase(prof.PhaseLabel)
+			phase(ar, obs.OpLabel)
 			return nil, nil, false // even Cmax-wide cuts are gone; deeper is worse
 		}
 		st.DecompAttempts++
@@ -589,11 +626,29 @@ func (s *state) tryDecompose(id, L int, st *Stats, ar *arena) (*decomp.Tree, []R
 		}
 		eff := func(r Replica) int { return s.labels[r.Orig] - s.phi*r.W }
 		sort.SliceStable(prio, func(a, b int) bool { return eff(reps[prio[a]]) < eff(reps[prio[b]]) })
-		effort := decomp.Effort{BDDNodes: s.opts.BDDNodeBudget, MaxBoundSets: s.opts.RothKarpBudget}
+		effort := decomp.Effort{BDDNodes: s.opts.BDDNodeBudget, MaxBoundSets: s.opts.RothKarpBudget, Stats: &estats}
 		key := decompKey(s.opts.K, h+1, prio, fn, effort)
 		entry, cached := s.cache.lookup(key)
+		if ar.ring != nil {
+			if cached {
+				ar.ring.Instant(obs.OpCacheHit, int64(id), int64(h))
+			} else {
+				ar.ring.Instant(obs.OpCacheMiss, int64(id), int64(h))
+			}
+		}
 		if !cached {
+			examinedBefore := estats.BoundSetsExamined
+			var tDec int64
+			if ar.ring != nil {
+				tDec = ar.ring.Now()
+			}
 			tree, ok, degraded := decomp.DecomposeEffort(fn, s.opts.K, h+1, prio, effort)
+			if ar.ring != nil {
+				// One span per fresh Roth-Karp search (args: node, bound sets
+				// examined); cache replays are instants only.
+				ar.ring.Span(obs.OpDecompose, tDec, int64(id),
+					int64(estats.BoundSetsExamined-examinedBefore))
+			}
 			if !ok {
 				tree = nil
 			}
@@ -609,8 +664,8 @@ func (s *state) tryDecompose(id, L int, st *Stats, ar *arena) (*decomp.Tree, []R
 			if s.opts.RothKarpBudget <= 0 {
 				resource, limit = "bdd-nodes", s.opts.BDDNodeBudget
 			}
-			if !s.degrade(st, resource, id, limit) {
-				prof.Phase(prof.PhaseLabel)
+			if !s.degrade(st, ar, resource, id, limit) {
+				phase(ar, obs.OpLabel)
 				return nil, nil, false
 			}
 		}
@@ -618,10 +673,10 @@ func (s *state) tryDecompose(id, L int, st *Stats, ar *arena) (*decomp.Tree, []R
 			continue
 		}
 		st.Decompositions++
-		prof.Phase(prof.PhaseLabel)
+		phase(ar, obs.OpLabel)
 		return entry.tree, reps, true
 	}
-	prof.Phase(prof.PhaseLabel)
+	phase(ar, obs.OpLabel)
 	return nil, nil, false
 }
 

@@ -1,0 +1,72 @@
+package core
+
+import (
+	"turbosyn/internal/obs"
+	"turbosyn/internal/prof"
+	"turbosyn/internal/stats"
+)
+
+// phase switches both observability planes for the calling worker in one
+// call: the pprof goroutine label (when -cpuprofile profiling is enabled)
+// and the worker ring's stage span (when tracing is enabled). With both off
+// it costs two predictable branches and allocates nothing, preserving the
+// warm structural sweep's zero-allocation invariant.
+func phase(ar *arena, op obs.Op) {
+	prof.Phase(op)
+	if ar.ring != nil {
+		ar.ring.Phase(op, int64(ar.curNode))
+	}
+}
+
+// attachRing gives a freshly created worker arena its trace ring. Cold path:
+// called once per (probe, worker), never inside a sweep.
+func (s *state) attachRing(ar *arena, label string) {
+	if s.rec != nil && ar.ring == nil {
+		ar.ring = s.rec.NewRing(label)
+	}
+}
+
+// liveCounters builds the progress tracker's sampler: a closure the ticker
+// goroutine calls at its reporting interval to read the run's shared atomic
+// counters (and, when tracing, the recorder's event totals).
+func liveCounters(conc *stats.Concurrency, rec *obs.Recorder) func() obs.Counters {
+	return func() obs.Counters {
+		cs := conc.Snapshot()
+		c := obs.Counters{
+			Workers:         cs.Workers,
+			NodesLabeled:    cs.NodeUpdates,
+			Iterations:      cs.Iterations,
+			ProbesLaunched:  cs.ProbesLaunched,
+			ProbesFinished:  cs.ProbesFinished,
+			ReadyQueueDepth: cs.QueueDepth,
+			QueueDepthPeak:  cs.QueueDepthPeak,
+			Degradations:    cs.Degradations,
+			ArenaPeakBytes:  cs.ArenaPeakBytes,
+			CacheHits:       cs.CacheHits,
+			CacheMisses:     cs.CacheMisses,
+		}
+		if rec != nil {
+			c.TraceEvents, c.TraceDropped = rec.Totals()
+		}
+		return c
+	}
+}
+
+// foldTrace records the recorder's event totals into st (once, at a public
+// API boundary).
+func foldTrace(st *Stats, rec *obs.Recorder) {
+	if rec != nil {
+		st.TraceEvents, st.TraceDropped = rec.Totals()
+	}
+}
+
+// probeVerdict encodes a probe outcome as the OpProbe span argument.
+func probeVerdict(ok bool, err error) int64 {
+	switch {
+	case err != nil:
+		return -1
+	case ok:
+		return 1
+	}
+	return 0
+}

@@ -218,6 +218,7 @@ func (s *state) runParallel() (bool, error) {
 				}
 			}()
 			for comp := range ready {
+				s.conc.ObserveQueueDepth(len(ready))
 				s.conc.ObserveBusyWorkers(int(busy.Add(1)))
 				grain := 0
 				for comp >= 0 {

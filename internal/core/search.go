@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 
 	"turbosyn/internal/netlist"
+	"turbosyn/internal/obs"
 	"turbosyn/internal/retime"
 	"turbosyn/internal/stats"
 )
@@ -33,10 +34,25 @@ func FeasibleContext(ctx context.Context, c *netlist.Circuit, phi int, opts Opti
 	defer guard.release()
 	s := newState(c, phi, opts)
 	s.guard = guard
+	opts.Progress.SetSampler(liveCounters(s.conc, opts.Trace))
+	var ring *obs.Ring
+	var t0 int64
+	if opts.Trace != nil {
+		ring = opts.Trace.NewRing("probe")
+		t0 = ring.Now()
+	}
 	s.conc.AddProbeLaunched()
 	ok, err := s.run()
+	if ring != nil {
+		ring.Span(obs.OpProbe, t0, int64(phi), probeVerdict(ok, err))
+	}
+	if opts.Logger != nil {
+		opts.Logger.Debug("probe", "phi", phi, "feasible", ok,
+			"iterations", s.stats.Iterations, "cutChecks", s.stats.CutChecks, "err", err)
+	}
 	st := s.stats
 	st.fold(s.conc.Snapshot())
+	foldTrace(&st, opts.Trace)
 	if err != nil {
 		return false, st, wrapAbort(err, "probe", -1, st)
 	}
@@ -58,12 +74,25 @@ func MapAtRatioContext(ctx context.Context, c *netlist.Circuit, phi int, opts Op
 	guard := startGuard(ctx)
 	defer guard.release()
 	conc := &stats.Concurrency{}
+	opts.Progress.SetSampler(liveCounters(conc, opts.Trace))
+	opts.Progress.SetPhase("map")
+	var ring *obs.Ring
+	var t0 int64
+	if opts.Trace != nil {
+		ring = opts.Trace.NewRing("map")
+		t0 = ring.Now()
+	}
 	res, st, err := mapAtRatio(c, phi, opts, newDecompCache(conc), conc, guard)
+	if ring != nil {
+		ring.Span(obs.OpMap, t0, int64(phi), probeVerdict(err == nil, err))
+	}
 	if err != nil {
 		st.fold(conc.Snapshot())
+		foldTrace(&st, opts.Trace)
 		return nil, wrapAbort(err, "map", -1, st)
 	}
 	res.Stats.fold(conc.Snapshot())
+	foldTrace(&res.Stats, opts.Trace)
 	return res, nil
 }
 
@@ -129,9 +158,14 @@ func MinimizeContext(ctx context.Context, c *netlist.Circuit, opts Options) (*Re
 	// every probe, speculative or not, and the final mapping pass.
 	conc := &stats.Concurrency{}
 	cache := newDecompCache(conc)
+	opts.Progress.SetSampler(liveCounters(conc, opts.Trace))
 	var total Stats
 	fail := func(err error, phase string, best int) (*Result, error) {
+		if opts.Logger != nil {
+			opts.Logger.Warn("search aborted", "phase", phase, "bestPhi", best, "err", err)
+		}
 		total.fold(conc.Snapshot())
+		foldTrace(&total, opts.Trace)
 		return nil, wrapAbort(err, phase, best, total)
 	}
 	ub := retime.Period(c)
@@ -140,19 +174,34 @@ func MinimizeContext(ctx context.Context, c *netlist.Circuit, opts Options) (*Re
 	}
 	if opts.Decompose && opts.Pipelined {
 		// Paper's UB: TurboMap's optimum seeds TurboSYN's search.
+		opts.Progress.SetPhase("turbomap-ub")
 		tmOpts := opts
 		tmOpts.Decompose = false
 		tm, err := minimizeSearch(c, ub, tmOpts, &total, cache, conc, guard)
 		if err != nil {
 			return fail(err, "turbomap-ub", tm)
 		}
+		if opts.Logger != nil {
+			opts.Logger.Debug("turbomap upper bound", "ub", tm, "retimedUB", ub)
+		}
 		ub = tm
 	}
+	opts.Progress.SetPhase("search")
 	best, err := minimizeSearch(c, ub, opts, &total, cache, conc, guard)
 	if err != nil {
 		return fail(err, "search", best)
 	}
+	opts.Progress.SetPhase("map")
+	var mapRing *obs.Ring
+	var t0 int64
+	if opts.Trace != nil {
+		mapRing = opts.Trace.NewRing("map")
+		t0 = mapRing.Now()
+	}
 	res, st, err := mapAtRatio(c, best, opts, cache, conc, guard)
+	if mapRing != nil {
+		mapRing.Span(obs.OpMap, t0, int64(best), probeVerdict(err == nil, err))
+	}
 	if err != nil {
 		total.Add(st)
 		return fail(err, "map", best)
@@ -160,6 +209,7 @@ func MinimizeContext(ctx context.Context, c *netlist.Circuit, opts Options) (*Re
 	total.Add(res.Stats)
 	res.Stats = total
 	res.Stats.fold(conc.Snapshot())
+	foldTrace(&res.Stats, opts.Trace)
 	return res, nil
 }
 
@@ -193,6 +243,10 @@ func minimizeSearch(cc *netlist.Circuit, ub int, opts Options, total *Stats, cac
 	warm := !opts.NoWarmStart && opts.IterBudget <= 0
 	var warmLabels []int
 	warmPhi := 0
+	var ring *obs.Ring
+	if opts.Trace != nil {
+		ring = opts.Trace.NewRing("search")
+	}
 	lo, hi := 1, ub
 	best := -1
 	for lo <= hi {
@@ -203,14 +257,26 @@ func minimizeSearch(cc *netlist.Circuit, ub int, opts Options, total *Stats, cac
 		if warm && warmLabels != nil && warmUseful(mid, warmPhi) {
 			s.seedLabels(warmLabels)
 		}
+		var t0 int64
+		if ring != nil {
+			t0 = ring.Now()
+		}
 		conc.AddProbeLaunched()
 		ok, err := s.run()
+		if ring != nil {
+			ring.Span(obs.OpProbe, t0, int64(mid), probeVerdict(ok, err))
+		}
+		if opts.Logger != nil {
+			opts.Logger.Debug("probe", "phi", mid, "feasible", ok,
+				"iterations", s.stats.Iterations, "cutChecks", s.stats.CutChecks, "err", err)
+		}
 		total.Add(s.stats)
 		if err != nil {
 			return best, err
 		}
 		if ok {
 			best = mid
+			opts.Progress.SetBestPhi(mid)
 			warmLabels, warmPhi = s.labels, mid
 			hi = mid - 1
 		} else {
@@ -233,6 +299,11 @@ type probe struct {
 	err    error // aborting error (ctx, strict budget, contained panic)
 	stats  Stats
 	labels []int // converged labels when ok (warm-start seed for later probes)
+	// Tracing bookkeeping, written only by the search goroutine: the launch
+	// time on the search ring, and whether the probe's span was recorded yet
+	// (midpoints record at acceptance, everything else at the wind-down join).
+	t0      int64
+	spanned bool
 }
 
 // speculativeSearch runs the same binary search as minimizeSearch but
@@ -264,6 +335,31 @@ func speculativeSearch(cc *netlist.Circuit, ub int, opts Options, total *Stats, 
 	popts := opts
 	popts.Workers = inner
 
+	var ring *obs.Ring
+	if opts.Trace != nil {
+		ring = opts.Trace.NewRing("search")
+	}
+	// record emits a joined probe's span and log line exactly once; verdicts
+	// of lost-speculation cancels are marked aborted rather than infeasible.
+	record := func(p *probe) {
+		if p.spanned {
+			return
+		}
+		p.spanned = true
+		cancelled := p.cancel.Load()
+		if ring != nil {
+			v := probeVerdict(p.ok, p.err)
+			if cancelled && p.err == nil {
+				v = -2
+			}
+			ring.Span(obs.OpProbe, p.t0, int64(p.phi), v)
+		}
+		if opts.Logger != nil {
+			opts.Logger.Debug("probe", "phi", p.phi, "feasible", p.ok,
+				"cancelled", cancelled, "iterations", p.stats.Iterations, "err", p.err)
+		}
+	}
+
 	// Warm-start store: every launch targets a phi at or below hi, which is
 	// strictly below the best feasible probe accepted so far, so the latest
 	// accepted probe's labels always qualify as a seed (subject to the same
@@ -282,6 +378,9 @@ func speculativeSearch(cc *netlist.Circuit, ub int, opts Options, total *Stats, 
 			return
 		}
 		p := &probe{phi: phi, done: make(chan struct{})}
+		if ring != nil {
+			p.t0 = ring.Now()
+		}
 		running[phi] = p
 		all = append(all, p)
 		conc.AddProbeLaunched()
@@ -329,6 +428,7 @@ func speculativeSearch(cc *netlist.Circuit, ub int, opts Options, total *Stats, 
 		p := running[mid]
 		<-p.done
 		drop(p, false)
+		record(p)
 		total.Add(p.stats)
 		if p.err != nil {
 			err = p.err
@@ -336,6 +436,7 @@ func speculativeSearch(cc *netlist.Circuit, ub int, opts Options, total *Stats, 
 		}
 		if p.ok {
 			best = mid
+			opts.Progress.SetBestPhi(mid)
 			if warm {
 				warmLabels, warmPhi = p.labels, mid
 			}
@@ -361,6 +462,7 @@ func speculativeSearch(cc *netlist.Circuit, ub int, opts Options, total *Stats, 
 	}
 	for _, q := range all {
 		<-q.done
+		record(q)
 		if err == nil && q.err != nil {
 			err = q.err
 		}

@@ -301,6 +301,18 @@ type Effort struct {
 	// examined across the whole Decompose call; the search stops (degraded)
 	// when the allowance runs out.
 	MaxBoundSets int
+	// Stats, when non-nil, accumulates the work the call actually performed
+	// (observability only — it never influences the search, so it is not
+	// part of decomposition-cache keys).
+	Stats *EffortStats
+}
+
+// EffortStats counts the work of one or more Decompose calls when collected
+// via Effort.Stats.
+type EffortStats struct {
+	// BoundSetsExamined is how many candidate bound sets the window scan
+	// actually examined (cache hits replay none).
+	BoundSetsExamined int
 }
 
 // effortState tracks consumption of one Decompose call's Effort.
@@ -376,6 +388,9 @@ func DecomposeEffort(f *logic.TT, k, depthBudget int, priority []int, eff Effort
 		refs[i] = i
 	}
 	es := &effortState{eff: eff}
+	if eff.Stats != nil {
+		defer func() { eff.Stats.BoundSetsExamined += es.examined }()
+	}
 	root, ok := decomposeOver(f, refs, k, depthBudget, rank, tr, es)
 	if !ok {
 		return nil, false, es.degraded

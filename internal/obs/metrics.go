@@ -1,0 +1,88 @@
+package obs
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"sync/atomic"
+)
+
+// Metrics republishes the latest progress snapshot as live run metrics: a
+// Prometheus text-format endpoint (ServeHTTP) and an expvar-compatible value
+// (Expvar). Feed it from an Options.Progress callback:
+//
+//	m := &obs.Metrics{}
+//	opts.Progress = m.Update
+//	expvar.Publish("turbosyn", expvar.Func(m.Expvar))
+//	http.Handle("/metrics", m)
+//
+// Update is one atomic pointer store, so the callback adds nothing
+// measurable to the snapshot path.
+type Metrics struct {
+	cur atomic.Pointer[Snapshot]
+}
+
+// Update records the latest snapshot; use it directly as the progress
+// callback (or call it from one).
+func (m *Metrics) Update(s Snapshot) { m.cur.Store(&s) }
+
+// Latest returns the most recent snapshot (zero value before the first
+// Update).
+func (m *Metrics) Latest() Snapshot {
+	if s := m.cur.Load(); s != nil {
+		return *s
+	}
+	return Snapshot{}
+}
+
+// Expvar returns the latest snapshot as a plain value for
+// expvar.Publish(..., expvar.Func(m.Expvar)).
+func (m *Metrics) Expvar() any { return m.Latest() }
+
+// gauges lists the exported numeric series in stable order.
+func (s Snapshot) gauges() []struct {
+	name, help string
+	value      float64
+} {
+	b := func(v bool) float64 {
+		if v {
+			return 1
+		}
+		return 0
+	}
+	return []struct {
+		name, help string
+		value      float64
+	}{
+		{"turbosyn_elapsed_seconds", "wall time since the run started", s.Elapsed.Seconds()},
+		{"turbosyn_best_phi", "smallest feasible phi proven so far (-1 = none)", float64(s.BestPhi)},
+		{"turbosyn_done", "1 once the run has delivered its final snapshot", b(s.Done)},
+		{"turbosyn_workers", "effective worker-pool size", float64(s.Workers)},
+		{"turbosyn_nodes_labeled_total", "label updates performed", float64(s.NodesLabeled)},
+		{"turbosyn_iterations_total", "label-update passes over SCC members", float64(s.Iterations)},
+		{"turbosyn_probes_launched_total", "feasibility probes started", float64(s.ProbesLaunched)},
+		{"turbosyn_probes_finished_total", "feasibility probes completed", float64(s.ProbesFinished)},
+		{"turbosyn_ready_queue_depth", "current dataflow ready-queue depth", float64(s.ReadyQueueDepth)},
+		{"turbosyn_ready_queue_depth_peak", "ready-queue depth high-water mark", float64(s.QueueDepthPeak)},
+		{"turbosyn_degradations_total", "budget exhaustions absorbed", float64(s.Degradations)},
+		{"turbosyn_arena_peak_bytes", "busiest scratch arena footprint", float64(s.ArenaPeakBytes)},
+		{"turbosyn_cache_hits_total", "decomposition-cache hits", float64(s.CacheHits)},
+		{"turbosyn_cache_misses_total", "decomposition-cache misses", float64(s.CacheMisses)},
+		{"turbosyn_trace_events_total", "trace events recorded", float64(s.TraceEvents)},
+		{"turbosyn_trace_dropped_total", "trace events lost to ring wrap", float64(s.TraceDropped)},
+	}
+}
+
+// ServeHTTP writes the latest snapshot in Prometheus text exposition format.
+func (m *Metrics) ServeHTTP(w http.ResponseWriter, _ *http.Request) {
+	s := m.Latest()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	fmt.Fprintf(w, "# HELP turbosyn_run_info run identity (labels carry the run id and phase)\n")
+	fmt.Fprintf(w, "# TYPE turbosyn_run_info gauge\n")
+	fmt.Fprintf(w, "turbosyn_run_info{run_id=%q,phase=%q} 1\n", s.RunID, s.Phase)
+	gs := s.gauges()
+	sort.SliceStable(gs, func(i, j int) bool { return gs[i].name < gs[j].name })
+	for _, g := range gs {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", g.name, g.help, g.name, g.name, g.value)
+	}
+}

@@ -1,0 +1,125 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// Chrome trace event format (the JSON Perfetto and chrome://tracing load):
+// a {"traceEvents": [...]} object whose entries are metadata events ("M"),
+// complete spans ("X", with ts + dur) and instants ("i"). Timestamps are
+// microseconds from the recorder's epoch. See DESIGN.md §8 for the schema
+// this writer commits to.
+type traceEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`
+	Dur  *float64       `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type traceDoc struct {
+	TraceEvents     []traceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+	Meta            traceMeta    `json:"otherData"`
+}
+
+type traceMeta struct {
+	Tool          string `json:"tool"`
+	RunID         string `json:"runID,omitempty"`
+	Events        int    `json:"events"`
+	DroppedEvents int    `json:"droppedEvents"`
+}
+
+const tracePID = 1
+
+// argsFor names the op-specific span arguments so traces are readable
+// without a legend.
+func argsFor(op Op, a, b int64) map[string]any {
+	args := map[string]any{}
+	switch op {
+	case OpExpand, OpFlow, OpPLD, OpCacheHit, OpCacheMiss, OpDegrade:
+		if a >= 0 {
+			args["node"] = a
+		}
+	case OpDecompose:
+		if a >= 0 {
+			args["node"] = a
+		}
+		if b >= 0 {
+			args["boundSets"] = b
+		}
+	case OpComp:
+		args["component"] = a
+		if b >= 0 {
+			args["iterations"] = b
+		}
+	case OpProbe:
+		args["phi"] = a
+		switch b {
+		case 1:
+			args["feasible"] = true
+		case 0:
+			args["feasible"] = false
+		default:
+			args["aborted"] = true
+		}
+	case OpMap:
+		args["phi"] = a
+	case OpCancel:
+		if a >= 0 {
+			args["component"] = a
+		}
+	}
+	if len(args) == 0 {
+		return nil
+	}
+	return args
+}
+
+// WriteTrace exports every ring's retained events as Chrome trace JSON.
+// Call it after the synthesis run has returned (success or abort); the
+// engine's shutdown joins all ring owners first, so the rings are complete.
+func (r *Recorder) WriteTrace(w io.Writer, runID string) error {
+	r.mu.Lock()
+	rings := append([]*Ring(nil), r.rings...)
+	r.mu.Unlock()
+
+	events, dropped := r.Totals()
+	doc := traceDoc{
+		DisplayTimeUnit: "ms",
+		Meta:            traceMeta{Tool: "turbosyn", RunID: runID, Events: events, DroppedEvents: dropped},
+	}
+	doc.TraceEvents = append(doc.TraceEvents, traceEvent{
+		Name: "process_name", Ph: "M", PID: tracePID,
+		Args: map[string]any{"name": "turbosyn"},
+	})
+	for _, ring := range rings {
+		doc.TraceEvents = append(doc.TraceEvents, traceEvent{
+			Name: "thread_name", Ph: "M", PID: tracePID, TID: ring.tid,
+			Args: map[string]any{"name": ring.label},
+		})
+		for _, ev := range ring.Events() {
+			te := traceEvent{
+				Name: ev.Op.String(),
+				TS:   float64(ev.Begin) / 1e3,
+				PID:  tracePID,
+				TID:  ring.tid,
+				Args: argsFor(ev.Op, ev.A, ev.B),
+			}
+			if ev.Kind == kindInstant {
+				te.Ph, te.S = "i", "t"
+			} else {
+				te.Ph = "X"
+				dur := float64(ev.End-ev.Begin) / 1e3
+				te.Dur = &dur
+			}
+			doc.TraceEvents = append(doc.TraceEvents, te)
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(doc)
+}

@@ -6,11 +6,16 @@ import "sync/atomic"
 // run: worker-pool sizing, dataflow ready-queue behaviour, sharded-cache
 // traffic and speculative-probe outcomes. All methods are safe for
 // concurrent use from any number of worker goroutines; read consistent
-// totals with Snapshot after the run.
+// totals with Snapshot after the run. Snapshot is also safe to call while
+// the run is live — the observability layer's progress ticker samples it at
+// its reporting interval — in which case the counters are a monotone,
+// slightly torn view of work in flight, which is all a progress report
+// needs.
 type Concurrency struct {
 	workers            atomic.Int64
 	tasks              atomic.Int64
 	inlineRuns         atomic.Int64
+	queueDepth         atomic.Int64
 	queueDepthPeak     atomic.Int64
 	busyWorkersPeak    atomic.Int64
 	barriersEliminated atomic.Int64
@@ -18,6 +23,11 @@ type Concurrency struct {
 	cacheMisses        atomic.Int64
 	probesLaunched     atomic.Int64
 	probesCancelled    atomic.Int64
+	probesFinished     atomic.Int64
+	nodeUpdates        atomic.Int64
+	iterations         atomic.Int64
+	degradations       atomic.Int64
+	arenaPeakBytes     atomic.Int64
 }
 
 // maxInt64 raises gauge g to v if v is larger (a lock-free running maximum).
@@ -41,9 +51,13 @@ func (c *Concurrency) AddTask() { c.tasks.Add(1) }
 // worker (grain batching) instead of going through the ready queue.
 func (c *Concurrency) AddInlineRun() { c.inlineRuns.Add(1) }
 
-// ObserveQueueDepth records the ready-queue depth seen after an enqueue;
-// the snapshot keeps the high-water mark.
-func (c *Concurrency) ObserveQueueDepth(depth int) { maxInt64(&c.queueDepthPeak, int64(depth)) }
+// ObserveQueueDepth records the ready-queue depth seen after an enqueue or
+// dequeue: the snapshot exposes both the latest depth (a live gauge for
+// progress reports) and the high-water mark.
+func (c *Concurrency) ObserveQueueDepth(depth int) {
+	c.queueDepth.Store(int64(depth))
+	maxInt64(&c.queueDepthPeak, int64(depth))
+}
 
 // ObserveBusyWorkers records how many pool workers were running components
 // simultaneously; the snapshot keeps the high-water mark (peak occupancy).
@@ -72,11 +86,38 @@ func (c *Concurrency) AddProbeLaunched() { c.probesLaunched.Add(1) }
 // took the other branch.
 func (c *Concurrency) AddProbeCancelled() { c.probesCancelled.Add(1) }
 
+// AddProbeFinished counts a probe whose run completed, with any verdict
+// (feasible, infeasible, cancelled, errored). Launched minus finished is the
+// number of probes in flight.
+func (c *Concurrency) AddProbeFinished() { c.probesFinished.Add(1) }
+
+// AddNodeUpdates counts label updates performed; the engine calls it once
+// per sweep with the sweep's update count, so the live "nodes labeled"
+// gauge costs one atomic add per sweep, not per node.
+func (c *Concurrency) AddNodeUpdates(n int) {
+	if n > 0 {
+		c.nodeUpdates.Add(int64(n))
+	}
+}
+
+// AddIteration counts one label-update pass over a component's members (the
+// live mirror of Stats.Iterations).
+func (c *Concurrency) AddIteration() { c.iterations.Add(1) }
+
+// AddDegradation counts one budget exhaustion absorbed by graceful
+// degradation (the live mirror of Stats.Degradations).
+func (c *Concurrency) AddDegradation() { c.degradations.Add(1) }
+
+// ObserveArenaBytes records a worker scratch arena's footprint; the
+// snapshot keeps the high-water mark across all workers.
+func (c *Concurrency) ObserveArenaBytes(b int) { maxInt64(&c.arenaPeakBytes, int64(b)) }
+
 // ConcurrencySnapshot is a plain-value copy of the counters.
 type ConcurrencySnapshot struct {
 	Workers            int // configured pool size (high-water mark)
 	Tasks              int // SCC tasks pulled from the ready queue
 	InlineRuns         int // trivial components chained inline (grain batching)
+	QueueDepth         int // ready-queue depth at the last enqueue/dequeue
 	QueueDepthPeak     int // ready-queue depth high-water mark
 	BusyWorkersPeak    int // peak simultaneous busy workers (occupancy)
 	BarriersEliminated int // level barriers the dataflow scheduler avoided
@@ -84,6 +125,11 @@ type ConcurrencySnapshot struct {
 	CacheMisses        int // sharded decomposition-cache misses
 	ProbesLaunched     int // feasibility probes started
 	ProbesCancelled    int // speculative probes cancelled
+	ProbesFinished     int // probes completed with any verdict
+	NodeUpdates        int // label updates performed
+	Iterations         int // label-update passes over SCC members
+	Degradations       int // budget exhaustions absorbed (live mirror)
+	ArenaPeakBytes     int // busiest scratch arena footprint (live mirror)
 }
 
 // Snapshot reads the counters.
@@ -92,6 +138,7 @@ func (c *Concurrency) Snapshot() ConcurrencySnapshot {
 		Workers:            int(c.workers.Load()),
 		Tasks:              int(c.tasks.Load()),
 		InlineRuns:         int(c.inlineRuns.Load()),
+		QueueDepth:         int(c.queueDepth.Load()),
 		QueueDepthPeak:     int(c.queueDepthPeak.Load()),
 		BusyWorkersPeak:    int(c.busyWorkersPeak.Load()),
 		BarriersEliminated: int(c.barriersEliminated.Load()),
@@ -99,5 +146,10 @@ func (c *Concurrency) Snapshot() ConcurrencySnapshot {
 		CacheMisses:        int(c.cacheMisses.Load()),
 		ProbesLaunched:     int(c.probesLaunched.Load()),
 		ProbesCancelled:    int(c.probesCancelled.Load()),
+		ProbesFinished:     int(c.probesFinished.Load()),
+		NodeUpdates:        int(c.nodeUpdates.Load()),
+		Iterations:         int(c.iterations.Load()),
+		Degradations:       int(c.degradations.Load()),
+		ArenaPeakBytes:     int(c.arenaPeakBytes.Load()),
 	}
 }

@@ -22,12 +22,15 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"log/slog"
+	"time"
 
 	"turbosyn/internal/core"
 	"turbosyn/internal/decomp"
 	"turbosyn/internal/logic"
 	"turbosyn/internal/mapper"
 	"turbosyn/internal/netlist"
+	"turbosyn/internal/obs"
 	"turbosyn/internal/retime"
 )
 
@@ -141,7 +144,56 @@ type Options struct {
 	// Strict turns every budget degradation into a *BudgetError instead of
 	// a silent quality loss.
 	Strict bool
+
+	// Observability (DESIGN.md §8). Everything below is off by default;
+	// when off, each engine hook costs one pointer check and the results
+	// are bit-identical with and without it.
+
+	// Trace, when non-nil, records engine spans (probes, SCC component
+	// tasks, expand/flow/decompose/PLD stages, cache traffic, degradations,
+	// cancellation) into per-worker ring buffers. Export the retained spans
+	// with Trace.WriteTrace after Synthesize returns — including after a
+	// *CancelError or *InternalError abort; every goroutine is joined before
+	// the public API returns, so the rings are always complete.
+	Trace *TraceRecorder
+	// Progress, when non-nil, receives rate-limited progress snapshots from
+	// a dedicated reporter goroutine: one per ProgressInterval, one per
+	// phase change, and exactly one final snapshot with Done set on every
+	// exit path (success, cancellation, contained panic). The callback must
+	// not call back into this package.
+	Progress func(ProgressSnapshot)
+	// ProgressInterval is the snapshot period (0 = 500ms).
+	ProgressInterval time.Duration
+	// Logger, when non-nil, receives structured run logs: phase changes and
+	// totals at Info, per-probe verdicts at Debug. The run id and circuit
+	// name are attached to every record.
+	Logger *slog.Logger
+	// RunID tags logs, traces and metrics of this run; empty means a fresh
+	// random id is generated when any observability sink is configured.
+	RunID string
 }
+
+// Observability types, re-exported from the internal obs package.
+type (
+	// TraceRecorder collects spans for Chrome/Perfetto trace export; create
+	// one with NewTraceRecorder and pass it as Options.Trace.
+	TraceRecorder = obs.Recorder
+	// ProgressSnapshot is one progress report: run identity, phase, best
+	// phi so far, live work counters, and Done/Err on the final snapshot.
+	ProgressSnapshot = obs.Snapshot
+	// Metrics republishes the latest ProgressSnapshot as an expvar value
+	// and a Prometheus text-format http.Handler; wire its Update method as
+	// Options.Progress.
+	Metrics = obs.Metrics
+)
+
+// NewTraceRecorder returns a span recorder with the default per-worker ring
+// capacity; ringCap overrides it when positive (each ring retains the most
+// recent ringCap events, counting older ones as dropped).
+func NewTraceRecorder(ringCap int) *TraceRecorder { return obs.NewRecorder(ringCap) }
+
+// NewRunID returns a fresh random run id (12 hex digits).
+func NewRunID() string { return obs.NewRunID() }
 
 // Structured errors surfaced by Synthesize and Feasible. CancelError wraps
 // context cancellation (errors.Is reaches context.Canceled /
@@ -185,6 +237,9 @@ func (o Options) validate() error {
 		return fmt.Errorf("turbosyn: resource budgets must be non-negative (0 = unlimited); got BDDNodeBudget=%d RothKarpBudget=%d ArenaByteBudget=%d",
 			o.BDDNodeBudget, o.RothKarpBudget, o.ArenaByteBudget)
 	}
+	if o.ProgressInterval < 0 {
+		return fmt.Errorf("turbosyn: ProgressInterval = %v is negative; use 0 for the default reporting period", o.ProgressInterval)
+	}
 	return nil
 }
 
@@ -211,6 +266,9 @@ type Result struct {
 	Stats core.Stats
 	// Algorithm echoes the engine used.
 	Algorithm Algorithm
+	// RunID identifies the run in logs, traces and metrics; empty when no
+	// observability sink was configured.
+	RunID string
 }
 
 func (o Options) fill() Options {
@@ -233,7 +291,7 @@ func Synthesize(c *Circuit, o Options) (*Result, error) {
 // under a second even on large circuits — and returns a *CancelError that
 // wraps the context's error and carries the aborting phase, the best
 // feasible phi proven so far and the partial work statistics.
-func SynthesizeContext(ctx context.Context, c *Circuit, o Options) (*Result, error) {
+func SynthesizeContext(ctx context.Context, c *Circuit, o Options) (out *Result, err error) {
 	o = o.fill()
 	if err := o.validate(); err != nil {
 		return nil, err
@@ -241,23 +299,48 @@ func SynthesizeContext(ctx context.Context, c *Circuit, o Options) (*Result, err
 	if err := c.Check(); err != nil {
 		return nil, err
 	}
+	// Observability setup: one run id shared by logs, trace and progress; a
+	// reporter goroutine that is always joined — with a final Done snapshot
+	// delivered exactly once — before this function returns, on every path.
+	runID := o.RunID
+	if runID == "" && (o.Trace != nil || o.Progress != nil || o.Logger != nil) {
+		runID = obs.NewRunID()
+	}
+	logger := o.Logger
+	if logger != nil {
+		logger = logger.With("run", runID, "circuit", c.Name)
+	}
+	var pg *obs.Progress
+	if o.Progress != nil {
+		pg = obs.NewProgress(runID, o.ProgressInterval, o.Progress)
+		pg.Start()
+	}
+	defer func() {
+		msg := ""
+		if err != nil {
+			msg = err.Error()
+		}
+		pg.Finish(msg) // nil-safe; no-op when o.Progress is nil
+	}()
+	if logger != nil {
+		logger.Info("synthesis start", "algorithm", o.Algorithm.String(),
+			"k", o.K, "workers", o.Workers, "nodes", c.NumNodes(), "gates", c.NumGates())
+	}
 	work := c
 	if !work.IsKBounded(o.K) {
-		var err error
-		work, err = decomp.KBound(work, o.K)
-		if err != nil {
-			return nil, err
+		var kerr error
+		work, kerr = decomp.KBound(work, o.K)
+		if kerr != nil {
+			return nil, kerr
 		}
 	}
-	var (
-		res *core.Result
-		err error
-	)
+	var res *core.Result
 	switch o.Algorithm {
 	case FlowSYNS:
 		if o.Objective == MinPeriod {
 			return nil, fmt.Errorf("turbosyn: FlowSYN-s supports only the MinRatio objective")
 		}
+		pg.SetPhase("flowsyns")
 		res, err = mapper.FlowSYNSContext(ctx, work, o.K)
 	default:
 		opts := core.Options{
@@ -276,12 +359,19 @@ func SynthesizeContext(ctx context.Context, c *Circuit, o Options) (*Result, err
 			RothKarpBudget:  o.RothKarpBudget,
 			ArenaByteBudget: o.ArenaByteBudget,
 			Strict:          o.Strict,
+			Trace:           o.Trace,
+			Progress:        pg,
+			Logger:          logger,
 		}
 		res, err = core.MinimizeContext(ctx, work, opts)
 	}
 	if err != nil {
+		if logger != nil {
+			logger.Warn("synthesis aborted", "err", err)
+		}
 		return nil, err
 	}
+	pg.SetBestPhi(res.Phi)
 	// The mapping is relative to the K-bounded circuit; stream alignment
 	// must refer to the caller's circuit. KBound preserves node names for
 	// original gates, so remap through names when we rebounded.
@@ -289,18 +379,20 @@ func SynthesizeContext(ctx context.Context, c *Circuit, o Options) (*Result, err
 	if work != c {
 		origOf = remapOrigins(res.OrigOf, work, c)
 	}
-	out := &Result{
+	out = &Result{
 		Phi:       res.Phi,
 		LUTs:      res.LUTs,
 		Mapped:    res.Mapped,
 		OrigOf:    origOf,
 		Stats:     res.Stats,
 		Algorithm: o.Algorithm,
+		RunID:     runID,
 	}
 	// The packing and realization post-passes are fast relative to the
 	// search but not free on large networks; honour cancellation between
 	// phases so a deadline that expires after the search still aborts
 	// promptly with the work done so far attributed to the right phase.
+	pg.SetPhase("pack")
 	if err := phaseCancelled(ctx, "pack", out); err != nil {
 		return nil, err
 	}
@@ -311,6 +403,7 @@ func SynthesizeContext(ctx context.Context, c *Circuit, o Options) (*Result, err
 		}
 		out.Mapped, out.OrigOf, out.LUTs = packed, packedOrig, packed.NumGates()
 	}
+	pg.SetPhase("realize")
 	if err := phaseCancelled(ctx, "realize", out); err != nil {
 		return nil, err
 	}
@@ -320,14 +413,21 @@ func SynthesizeContext(ctx context.Context, c *Circuit, o Options) (*Result, err
 		if !ok {
 			return nil, fmt.Errorf("turbosyn: internal error: phi=%d not realizable", out.Phi)
 		}
-		realized, err := retime.Apply(out.Mapped, r)
-		if err != nil {
-			return nil, err
+		realized, rerr := retime.Apply(out.Mapped, r)
+		if rerr != nil {
+			return nil, rerr
 		}
 		out.Realized = realized
 		out.Latency = retime.Latency(out.Mapped, r)
 	} else {
 		out.Latency = make([]int, len(out.Mapped.POs))
+	}
+	if o.Trace != nil {
+		out.Stats.TraceEvents, out.Stats.TraceDropped = o.Trace.Totals()
+	}
+	if logger != nil {
+		logger.Info("synthesis done", "phi", out.Phi, "luts", out.LUTs,
+			"iterations", out.Stats.Iterations, "degradations", out.Stats.Degradations)
 	}
 	return out, nil
 }
@@ -400,6 +500,8 @@ func FeasibleContext(ctx context.Context, c *Circuit, phi int, o Options) (bool,
 		RothKarpBudget:  o.RothKarpBudget,
 		ArenaByteBudget: o.ArenaByteBudget,
 		Strict:          o.Strict,
+		Trace:           o.Trace,
+		Logger:          o.Logger,
 	})
 }
 
