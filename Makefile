@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build lint test test-full race chaos fuzz-smoke bench-smoke bench-scale trace-smoke
+.PHONY: build lint vulncheck test test-full race chaos fuzz-smoke bench-smoke bench-scale trace-smoke cache-warm
 
 # Compile everything and vet it.
 build:
@@ -19,6 +19,16 @@ lint:
 		staticcheck ./...; \
 	else \
 		echo "lint: staticcheck not installed; ran go vet only (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
+	fi
+
+# Known-vulnerability scan over the module and its (stdlib-only) call graph.
+# Same degradation pattern as lint: CI installs govulncheck, locally the
+# target prints a notice and succeeds when the binary is absent.
+vulncheck:
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else \
+		echo "vulncheck: govulncheck not installed; skipped (go install golang.org/x/vuln/cmd/govulncheck@latest)"; \
 	fi
 
 # Fast suite: skips the quick-tables smoke run and the heavier golden cases.
@@ -37,13 +47,23 @@ race:
 
 # Chaos suite: every fault-injection scenario (contained panics, mid-sweep
 # cancellation, budget exhaustion, slow workers, randomized plans) plus the
-# cancellation-latency contract, repeated under the race detector.
+# cancellation-latency contract and the persistent-cache interruption
+# scenarios (cancelled runs and truncated flushes must never leave an
+# unloadable cache log), repeated under the race detector.
 chaos:
 	$(GO) test -race -count 2 -timeout 20m \
-		-run 'TestInjected|TestRandomizedChaos|TestRealBudgetDegradation|TestGenerousBudgets|TestCancelBeforeStart|TestFeasibleContextCancel|TestTraceFlush' \
+		-run 'TestInjected|TestRandomizedChaos|TestRealBudgetDegradation|TestGenerousBudgets|TestCancelBeforeStart|TestFeasibleContextCancel|TestTraceFlush|TestCacheDirSurvives' \
 		./internal/core
-	$(GO) test -race -count 2 ./internal/faultinject
+	$(GO) test -race -count 2 ./internal/faultinject ./internal/decomp/cachelog
 	$(GO) test -race -timeout 10m -run 'TestSynthesizeCancel|TestSynthesizeDeadline|TestSynthesizeExpired' .
+
+# Warm-cache gate: run the suite slice twice against one cache directory and
+# assert the second run serves >= 80% of its hits from persisted entries,
+# skips >= 80% of the Roth-Karp scans, and emits byte-identical BLIF (see
+# cachewarm_test.go). CI keys the directory on the cache-log format version
+# (internal/decomp/cachelog.Version), so a format bump starts cold.
+cache-warm:
+	TURBOSYN_CACHE_DIR=$(CURDIR)/.decomp-cache $(GO) test -run TestCacheWarmSuite -count=1 -timeout 20m -v .
 
 # Native fuzzing smoke over the BLIF reader: 30s of coverage-guided input
 # generation against the parse-or-error-cleanly contract.

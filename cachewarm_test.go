@@ -1,0 +1,91 @@
+package turbosyn
+
+import (
+	"bytes"
+	"os"
+	"testing"
+
+	"turbosyn/internal/bench"
+)
+
+// TestCacheWarmSuite is the warm-cache gate (CI job cache-warm / `make
+// cache-warm`): it synthesizes a slice of the evaluation suite three times —
+// cold against a fresh (or CI-restored) cache directory, warm against the
+// same directory, and once with no cache at all — and pins the two contracts
+// Options.CacheDir makes:
+//
+//  1. Bit identity: all three runs emit byte-identical BLIF per circuit. A
+//     persisted cache changes nothing but speed.
+//  2. Warm effectiveness: the warm run serves >= 80% of its cache hits from
+//     persisted entries and skips >= 80% of the cold run's Roth-Karp window
+//     scans (or all of them). The cold-run bound is skipped when the
+//     directory was already warm (a restored CI cache makes the first run
+//     warm too, which only strengthens the warm-run assertions).
+//
+// TURBOSYN_CACHE_DIR overrides the cache directory (CI points it at the
+// actions/cache-restored path); by default each test run uses a throwaway
+// temp directory.
+func TestCacheWarmSuite(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cache-warm gate runs three full syntheses per circuit; use make cache-warm")
+	}
+	dir := os.Getenv("TURBOSYN_CACHE_DIR")
+	if dir == "" {
+		dir = t.TempDir()
+	}
+	// A small slice of the suite keeps the gate quick while still covering
+	// FSM SOPs and datapath carry chains.
+	want := map[string]bool{"bbara": true, "bbsse": true, "cse": true, "s420": true}
+	opts := func(cacheDir string) Options {
+		return Options{K: 4, Workers: 2, CacheDir: cacheDir}
+	}
+	for _, cs := range bench.Suite() {
+		if !want[cs.Name] {
+			continue
+		}
+		t.Run(cs.Name, func(t *testing.T) {
+			blif := func(o Options) ([]byte, *Result) {
+				res, err := Synthesize(cs.Circuit, o)
+				if err != nil {
+					t.Fatal(err)
+				}
+				var buf bytes.Buffer
+				if err := WriteBLIF(&buf, res.Realized); err != nil {
+					t.Fatal(err)
+				}
+				return buf.Bytes(), res
+			}
+			cold, coldRes := blif(opts(dir))
+			warm, warmRes := blif(opts(dir))
+			bare, _ := blif(opts(""))
+
+			if !bytes.Equal(cold, warm) {
+				t.Fatalf("warm run BLIF differs from cold run (cache must be invisible in results)")
+			}
+			if !bytes.Equal(cold, bare) {
+				t.Fatalf("cached run BLIF differs from uncached run (cache must be invisible in results)")
+			}
+
+			st := warmRes.Stats
+			if st.CacheShardHits == 0 {
+				t.Fatalf("warm run recorded no cache hits at all")
+			}
+			if rate := float64(st.CachePersistedHits) / float64(st.CacheShardHits); rate < 0.8 {
+				t.Errorf("warm run persisted-hit rate = %.2f (%d/%d), want >= 0.8",
+					rate, st.CachePersistedHits, st.CacheShardHits)
+			}
+			coldRK, warmRK := coldRes.Stats.RothKarpCalls, st.RothKarpCalls
+			if warmRK != 0 && 5*warmRK > coldRK {
+				// coldRK can legitimately be tiny when the directory was
+				// pre-warmed (restored CI cache); then warmRK must be equally
+				// tiny and the persisted-hit assertion above carries the gate.
+				if coldRK > 5 {
+					t.Errorf("warm run ran %d Roth-Karp scans vs %d cold, want >= 80%% skipped",
+						warmRK, coldRK)
+				}
+			}
+			t.Logf("cold roth-karp=%d warm roth-karp=%d persisted=%d/%d npn=%d",
+				coldRK, warmRK, st.CachePersistedHits, st.CacheShardHits, st.CacheNPNHits)
+		})
+	}
+}

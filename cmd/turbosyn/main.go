@@ -44,6 +44,7 @@ func main() {
 		strict     = flag.Bool("strict", false, "treat resource-budget exhaustion as an error instead of degrading gracefully")
 		bddBudget  = flag.Int("bdd-budget", 0, "max OBDD nodes per decomposition pre-screen (0 = unlimited)")
 		rkBudget   = flag.Int("rk-budget", 0, "max Roth-Karp bound-set candidates per decomposition attempt (0 = unlimited)")
+		cacheDir   = flag.String("decomp-cache", "", "persist the decomposition cache across runs in this directory (results stay bit-identical; warm runs skip the Roth-Karp searches)")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file (samples carry a per-stage 'phase' label)")
 		memProfile = flag.String("memprofile", "", "write an allocation profile to this file after synthesis")
 
@@ -91,6 +92,7 @@ func main() {
 	opts := turbosyn.Options{
 		K: *k, NoPack: *noPack, NoPLD: *noPLD, NoWarmStart: *noWarm, Workers: *workers,
 		Strict: *strict, BDDNodeBudget: *bddBudget, RothKarpBudget: *rkBudget,
+		CacheDir: *cacheDir,
 	}
 	switch *alg {
 	case "turbosyn":
@@ -199,6 +201,12 @@ func main() {
 		"%s: %v phi=%d luts=%d latency=%v cpu=%v (in: %d gates, %d FFs)\n",
 		c.Name, res.Algorithm, res.Phi, res.LUTs, res.Latency,
 		time.Since(start).Round(time.Millisecond), c.NumGates(), c.NumFFs())
+	if *cacheDir != "" {
+		fmt.Fprintf(os.Stderr,
+			"%s: decomp cache: %d/%d hits persisted, %d via NPN, %d roth-karp runs\n",
+			c.Name, res.Stats.CachePersistedHits, res.Stats.CacheShardHits,
+			res.Stats.CacheNPNHits, res.Stats.RothKarpCalls)
+	}
 
 	target := res.Realized
 	if *raw || target == nil {

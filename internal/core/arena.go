@@ -28,6 +28,13 @@ type arena struct {
 	varOf []int // replica id -> cut variable, -1 inside the cone
 	memo  []*logic.TT
 
+	// NPN canonicalization memo (worker-local, so lock-free): cone functions
+	// recur heavily across label iterations and the exact canonicalization of
+	// a 6-input cone enumerates ~92k candidates, so tryDecompose memoizes
+	// (canon, transform) by raw function. npnKey is the reusable key scratch.
+	npnMemo map[string]npnEntry
+	npnKey  []byte
+
 	// iterateComp / sccIsolated scratch, sized to the circuit.
 	updatable []int
 	reach     []bool
@@ -63,7 +70,43 @@ func (ar *arena) reset() {
 func (ar *arena) bytes() int {
 	return ar.xb.Bytes() + ar.ca.Bytes() +
 		cap(ar.varOf)*8 + cap(ar.memo)*8 +
-		cap(ar.updatable)*8 + cap(ar.reach) + cap(ar.rqueue)*8
+		cap(ar.updatable)*8 + cap(ar.reach) + cap(ar.rqueue)*8 +
+		len(ar.npnMemo)*npnEntryBytes + cap(ar.npnKey)
+}
+
+// npnEntry is one memoized canonicalization: the canonical table and the
+// transform with tr.Apply(raw) == canon. Both are immutable once stored —
+// canon feeds cache keys and Decompose (which never mutate their input) and
+// the transform's Perm is only read.
+type npnEntry struct {
+	canon *logic.TT
+	tr    logic.NPNTransform
+}
+
+// npnMemoCap bounds the per-arena memo; when full it is cleared wholesale
+// (cone functions cluster in time, so wholesale reset beats eviction
+// bookkeeping). npnEntryBytes is the rough per-entry footprint charged to
+// the arena byte budget (key string + table + transform).
+const (
+	npnMemoCap    = 1 << 12
+	npnEntryBytes = 96
+)
+
+// npnCanon is logic.NPNCanon behind the arena's memo.
+func (ar *arena) npnCanon(fn *logic.TT) (*logic.TT, logic.NPNTransform) {
+	ar.npnKey = append(ar.npnKey[:0], byte(fn.NumVars()))
+	ar.npnKey = fn.AppendWordBytes(ar.npnKey)
+	if e, ok := ar.npnMemo[string(ar.npnKey)]; ok {
+		return e.canon, e.tr
+	}
+	canon, tr := logic.NPNCanon(fn)
+	if ar.npnMemo == nil {
+		ar.npnMemo = make(map[string]npnEntry)
+	} else if len(ar.npnMemo) >= npnMemoCap {
+		clear(ar.npnMemo)
+	}
+	ar.npnMemo[string(ar.npnKey)] = npnEntry{canon: canon, tr: tr}
+	return canon, tr
 }
 
 // arenaFor returns the worker's scratch arena, creating it on first use.

@@ -2,9 +2,12 @@ package core
 
 import (
 	"hash/maphash"
+	"sort"
 	"sync"
 
 	"turbosyn/internal/decomp"
+	"turbosyn/internal/decomp/cachelog"
+	"turbosyn/internal/obs"
 	"turbosyn/internal/stats"
 )
 
@@ -15,27 +18,36 @@ import (
 // expensive part either way).
 //
 // Keys embed everything Decompose depends on — K, the depth budget, the
-// bound-set priority order and the cone function — so a cached value always
-// equals what a fresh call would compute. That purity is what lets the cache
-// be shared across workers, across feasibility probes and across the whole
-// binary search without making results depend on execution order.
+// bound-set priority order and the NPN-canonical cone function — so a cached
+// value always equals what a fresh call would compute. That purity is what
+// lets the cache be shared across workers, across feasibility probes, across
+// the whole binary search, and (with Options.CacheDir) across runs without
+// making results depend on execution order.
 const decompCacheShards = 64
 
 // decompEntry is one memoized Decompose outcome: the tree (nil = failure)
 // plus whether the search was truncated by an effort budget. The degraded
 // flag replays into Stats.Degradations on every hit, so budget accounting
-// stays consistent whether the outcome was computed or cached.
+// stays consistent whether the outcome was computed or cached. persisted
+// marks entries that arrived from the cross-run log (hit accounting only;
+// such entries are never degraded — degraded outcomes are never persisted).
 type decompEntry struct {
-	tree     *decomp.Tree
-	degraded bool
+	tree      *decomp.Tree
+	degraded  bool
+	persisted bool
 }
 
 type decompCache struct {
 	conc   *stats.Concurrency
 	seed   maphash.Seed
+	log    *cachelog.Log // non-nil once openLog succeeded on a CacheDir
 	shards [decompCacheShards]struct {
 		mu sync.Mutex
 		m  map[string]decompEntry
+		// dirty lists keys stored this run that the log does not have yet
+		// (first store wins; degraded entries are never listed). Drained by
+		// closeLog.
+		dirty []string
 	}
 }
 
@@ -60,6 +72,9 @@ func (dc *decompCache) lookup(key string) (decompEntry, bool) {
 	sh.mu.Unlock()
 	if ok {
 		dc.conc.AddCacheHit()
+		if entry.persisted {
+			dc.conc.AddCachePersistedHit()
+		}
 	} else {
 		dc.conc.AddCacheMiss()
 	}
@@ -69,10 +84,112 @@ func (dc *decompCache) lookup(key string) (decompEntry, bool) {
 // store records a Decompose outcome (nil tree for failure). Concurrent
 // stores for the same key are benign: Decompose is a pure function of the
 // key — which embeds the effort budget — so both writers carry structurally
-// identical values.
+// identical values. When a persistent log is attached, first-seen
+// non-degraded outcomes are queued for the shutdown flush; degraded ones
+// never are (a truncated search is not worth replaying into runs that may
+// carry different budgets in their keys anyway, and persisting them would
+// replay their degradation accounting into unrelated runs).
 func (dc *decompCache) store(key string, entry decompEntry) {
 	sh := &dc.shards[dc.shardFor(key)]
 	sh.mu.Lock()
+	if _, exists := sh.m[key]; !exists && dc.log != nil && !entry.degraded {
+		sh.dirty = append(sh.dirty, key)
+	}
 	sh.m[key] = entry
 	sh.mu.Unlock()
+}
+
+// openLog attaches the persistent cross-run log when opts.CacheDir is set:
+// it loads every valid entry into the shards (marked persisted) and keeps
+// the log handle so closeLog can append this run's new outcomes. Failures
+// are never fatal — a missing, corrupt or version-skewed log just means a
+// cold cache. Called before any worker runs, on the public API entry path.
+func (dc *decompCache) openLog(opts Options) {
+	if opts.CacheDir == "" {
+		return
+	}
+	instant := func(n int64, b int64) {
+		if opts.Trace != nil {
+			opts.Trace.NewRing("cache").Instant(obs.OpCacheLoad, n, b)
+		}
+	}
+	lg, err := cachelog.Open(opts.CacheDir)
+	if err != nil {
+		if opts.Logger != nil {
+			opts.Logger.Warn("decomp cache unavailable", "dir", opts.CacheDir, "err", err)
+		}
+		instant(0, -1)
+		return
+	}
+	entries, err := lg.Load()
+	if err != nil {
+		// A real I/O error reading the log: start cold but keep the handle —
+		// Append rewrites unreadable logs from scratch.
+		if opts.Logger != nil {
+			opts.Logger.Warn("decomp cache load failed", "path", lg.Path(), "err", err)
+		}
+		dc.log = lg
+		instant(0, -1)
+		return
+	}
+	loaded := 0
+	for _, e := range entries {
+		sh := &dc.shards[dc.shardFor(e.Key)]
+		sh.mu.Lock()
+		if _, ok := sh.m[e.Key]; !ok {
+			sh.m[e.Key] = decompEntry{tree: e.Tree, persisted: true}
+			loaded++
+		}
+		sh.mu.Unlock()
+	}
+	dc.log = lg
+	instant(int64(loaded), 0)
+	if opts.Logger != nil {
+		opts.Logger.Debug("decomp cache loaded", "path", lg.Path(), "entries", loaded)
+	}
+}
+
+// closeLog appends this run's new non-degraded outcomes to the persistent
+// log (no-op without one). Keys are flushed in sorted order, so the bytes a
+// given set of outcomes appends are deterministic regardless of worker
+// scheduling. Safe to call on every exit path: entries are pure functions of
+// their keys, so persisting the partial work of an aborted run is sound.
+func (dc *decompCache) closeLog(opts Options) {
+	if dc.log == nil {
+		return
+	}
+	var keys []string
+	for i := range dc.shards {
+		sh := &dc.shards[i]
+		sh.mu.Lock()
+		keys = append(keys, sh.dirty...)
+		sh.dirty = nil
+		sh.mu.Unlock()
+	}
+	sort.Strings(keys)
+	entries := make([]cachelog.Entry, 0, len(keys))
+	for _, k := range keys {
+		sh := &dc.shards[dc.shardFor(k)]
+		sh.mu.Lock()
+		e := sh.m[k]
+		sh.mu.Unlock()
+		entries = append(entries, cachelog.Entry{Key: k, Tree: e.tree})
+	}
+	err := dc.log.Append(entries)
+	if opts.Trace != nil {
+		b := int64(0)
+		if err != nil {
+			b = -1
+		}
+		opts.Trace.NewRing("cache").Instant(obs.OpCacheFlush, int64(len(entries)), b)
+	}
+	if err != nil {
+		if opts.Logger != nil {
+			opts.Logger.Warn("decomp cache flush failed", "path", dc.log.Path(), "err", err)
+		}
+		return
+	}
+	if opts.Logger != nil {
+		opts.Logger.Debug("decomp cache flushed", "path", dc.log.Path(), "entries", len(entries))
+	}
 }

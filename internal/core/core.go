@@ -109,6 +109,18 @@ type Options struct {
 	// RothKarpBudget caps the bound-set candidates examined per
 	// decomposition attempt (the time lever on the window scan).
 	RothKarpBudget int
+	// CacheDir, when non-empty, makes the decomposition cache persistent
+	// across runs: a compact append-only log under this directory is loaded
+	// at engine start and appended (this run's new non-degraded outcomes) at
+	// shutdown. Entries are keyed by the NPN-canonical cone function plus
+	// everything else Decompose depends on, so a warm cache changes nothing
+	// but speed — results are bit-identical to a cold run. Corrupt, truncated
+	// or version-mismatched logs are discarded cleanly (the run starts cold),
+	// and concurrent runs may share one directory: appends are atomic
+	// whole-record writes and the loader skips anything torn. See DESIGN.md
+	// §9.
+	CacheDir string
+
 	// ArenaByteBudget caps a worker scratch arena's retained footprint:
 	// after a component whose arena exceeds it, the arena is released back
 	// to the allocator (results are unaffected — arenas are pure scratch —
@@ -203,6 +215,16 @@ type Stats struct {
 	// per-attempt counts also annotate decompose spans in exported traces.
 	BoundSetsExamined int
 
+	// Decomposition-tier counters: how tryDecompose outcomes were produced.
+	// RothKarpCalls counts full Roth-Karp window scans actually entered (the
+	// expensive tier; cache hits and cheaper tiers contribute none — the
+	// warm-cache CI gate pins its skip rate on this counter). ShannonSplits
+	// and DisjointPeels count decompositions settled by the cheaper
+	// cofactor-split and same-op-literal-peeling tiers.
+	RothKarpCalls int
+	ShannonSplits int
+	DisjointPeels int
+
 	// Degradations counts budget exhaustions absorbed by graceful
 	// degradation: nodes whose resynthesis was skipped or truncated by
 	// BDDNodeBudget/RothKarpBudget, and arenas released by ArenaByteBudget.
@@ -219,6 +241,8 @@ type Stats struct {
 	BarriersEliminated int // level barriers the dataflow scheduler avoided
 	CacheShardHits     int // sharded decomposition-cache hits
 	CacheShardMisses   int // sharded decomposition-cache misses
+	CachePersistedHits int // hits served by entries loaded from a CacheDir log
+	CacheNPNHits       int // hits reached through a non-identity NPN transform
 	ProbesLaunched     int // feasibility probes started by the search
 	ProbesCancelled    int // speculative probes cancelled (lost branch)
 
@@ -242,6 +266,9 @@ func (s *Stats) Add(s2 Stats) {
 	}
 	s.WarmStarts += s2.WarmStarts
 	s.BoundSetsExamined += s2.BoundSetsExamined
+	s.RothKarpCalls += s2.RothKarpCalls
+	s.ShannonSplits += s2.ShannonSplits
+	s.DisjointPeels += s2.DisjointPeels
 	s.Degradations += s2.Degradations
 	if s2.Workers > s.Workers {
 		s.Workers = s2.Workers
@@ -257,6 +284,8 @@ func (s *Stats) Add(s2 Stats) {
 	s.BarriersEliminated += s2.BarriersEliminated
 	s.CacheShardHits += s2.CacheShardHits
 	s.CacheShardMisses += s2.CacheShardMisses
+	s.CachePersistedHits += s2.CachePersistedHits
+	s.CacheNPNHits += s2.CacheNPNHits
 	s.ProbesLaunched += s2.ProbesLaunched
 	s.ProbesCancelled += s2.ProbesCancelled
 	if s2.TraceEvents > s.TraceEvents {
@@ -284,6 +313,8 @@ func (s *Stats) fold(cs stats.ConcurrencySnapshot) {
 	s.BarriersEliminated += cs.BarriersEliminated
 	s.CacheShardHits += cs.CacheHits
 	s.CacheShardMisses += cs.CacheMisses
+	s.CachePersistedHits += cs.CachePersistedHits
+	s.CacheNPNHits += cs.CacheNPNHits
 	s.ProbesLaunched += cs.ProbesLaunched
 	s.ProbesCancelled += cs.ProbesCancelled
 }

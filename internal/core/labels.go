@@ -1,9 +1,9 @@
 package core
 
 import (
+	"encoding/binary"
 	"fmt"
 	"sort"
-	"strings"
 	"sync/atomic"
 
 	"turbosyn/internal/cut"
@@ -594,9 +594,15 @@ func (s *state) tryDecompose(id, L int, st *Stats, ar *arena) (*decomp.Tree, []R
 		return nil, nil, false
 	}
 	// estats collects the decomposer's effort counters (bound sets actually
-	// examined); observability only, never part of the cache key.
+	// examined, tier outcomes); observability only, never part of the cache
+	// key.
 	var estats decomp.EffortStats
-	defer func() { st.BoundSetsExamined += estats.BoundSetsExamined }()
+	defer func() {
+		st.BoundSetsExamined += estats.BoundSetsExamined
+		st.RothKarpCalls += estats.RothKarpCalls
+		st.ShannonSplits += estats.ShannonSplits
+		st.DisjointPeels += estats.DisjointPeels
+	}()
 	for h := 1; h <= s.opts.MaxH; h++ {
 		phase(ar, obs.OpExpand)
 		x, ok := ar.xb.Tighten(L - h)
@@ -626,9 +632,25 @@ func (s *state) tryDecompose(id, L int, st *Stats, ar *arena) (*decomp.Tree, []R
 		}
 		eff := func(r Replica) int { return s.labels[r.Orig] - s.phi*r.W }
 		sort.SliceStable(prio, func(a, b int) bool { return eff(reps[prio[a]]) < eff(reps[prio[b]]) })
+		// Decompose the NPN-canonical form of the cone function, with the
+		// priority order mapped through the same transform, and map the
+		// resulting tree back through the inverse. One cached canonical tree
+		// then serves every input-permuted/negated variant of the class —
+		// within a run, across probes, and across runs via the persisted log —
+		// and because cached replay and fresh computation are the same pure
+		// function of the canonical key, warm results stay bit-identical to
+		// cold ones.
+		canon, ctr := ar.npnCanon(fn)
+		canonPrio := make([]int, len(prio))
+		for i, p := range prio {
+			canonPrio[i] = ctr.Perm[p]
+		}
 		effort := decomp.Effort{BDDNodes: s.opts.BDDNodeBudget, MaxBoundSets: s.opts.RothKarpBudget, Stats: &estats}
-		key := decompKey(s.opts.K, h+1, prio, fn, effort)
+		key := decompKey(s.opts.K, h+1, canonPrio, canon, effort)
 		entry, cached := s.cache.lookup(key)
+		if cached && !ctr.Identity() {
+			s.conc.AddCacheNPNHit()
+		}
 		if ar.ring != nil {
 			if cached {
 				ar.ring.Instant(obs.OpCacheHit, int64(id), int64(h))
@@ -642,7 +664,7 @@ func (s *state) tryDecompose(id, L int, st *Stats, ar *arena) (*decomp.Tree, []R
 			if ar.ring != nil {
 				tDec = ar.ring.Now()
 			}
-			tree, ok, degraded := decomp.DecomposeEffort(fn, s.opts.K, h+1, prio, effort)
+			tree, ok, degraded := decomp.DecomposeEffort(canon, s.opts.K, h+1, canonPrio, effort)
 			if ar.ring != nil {
 				// One span per fresh Roth-Karp search (args: node, bound sets
 				// examined); cache replays are instants only.
@@ -674,7 +696,7 @@ func (s *state) tryDecompose(id, L int, st *Stats, ar *arena) (*decomp.Tree, []R
 		}
 		st.Decompositions++
 		phase(ar, obs.OpLabel)
-		return entry.tree, reps, true
+		return decomp.ApplyNPNToTree(entry.tree, ctr.Inverse()), reps, true
 	}
 	phase(ar, obs.OpLabel)
 	return nil, nil, false
@@ -686,17 +708,24 @@ func (s *state) tryDecompose(id, L int, st *Stats, ar *arena) (*decomp.Tree, []R
 // the key for the same reason — a truncated search and an exact one are
 // different computations. Keying on the full input makes the cached value
 // equal to a fresh computation, which in turn makes cache sharing across
-// workers and probes order-independent.
+// workers, probes and runs order-independent.
+//
+// The key is a compact self-delimiting byte string (callers pass the
+// NPN-canonical function, so it doubles as the persisted log's key): K and
+// depth-budget bytes, uvarint budgets, length-prefixed priority bytes, then
+// the variable count and the table's word bytes.
 func decompKey(k, depthBudget int, prio []int, fn *logic.TT, eff decomp.Effort) string {
-	var b strings.Builder
-	b.Grow(len(prio) + 32)
-	fmt.Fprintf(&b, "%d|%d|%d|%d|", k, depthBudget, eff.BDDNodes, eff.MaxBoundSets)
+	b := make([]byte, 0, 16+len(prio)+8*(1+(1<<uint(fn.NumVars()))/64))
+	b = append(b, byte(k), byte(depthBudget))
+	b = binary.AppendUvarint(b, uint64(eff.BDDNodes))
+	b = binary.AppendUvarint(b, uint64(eff.MaxBoundSets))
+	b = append(b, byte(len(prio)))
 	for _, p := range prio {
-		b.WriteByte(byte(p))
+		b = append(b, byte(p))
 	}
-	b.WriteByte('|')
-	b.WriteString(fn.String())
-	return b.String()
+	b = append(b, byte(fn.NumVars()))
+	b = fn.AppendWordBytes(b)
+	return string(b)
 }
 
 // structuralRec converts a structural cut into a cover record: a

@@ -44,6 +44,7 @@ func liveCounters(conc *stats.Concurrency, rec *obs.Recorder) func() obs.Counter
 			ArenaPeakBytes:  cs.ArenaPeakBytes,
 			CacheHits:       cs.CacheHits,
 			CacheMisses:     cs.CacheMisses,
+			CachePersisted:  cs.CachePersistedHits,
 		}
 		if rec != nil {
 			c.TraceEvents, c.TraceDropped = rec.Totals()

@@ -34,6 +34,8 @@ func FeasibleContext(ctx context.Context, c *netlist.Circuit, phi int, opts Opti
 	defer guard.release()
 	s := newState(c, phi, opts)
 	s.guard = guard
+	s.cache.openLog(opts)
+	defer s.cache.closeLog(opts)
 	opts.Progress.SetSampler(liveCounters(s.conc, opts.Trace))
 	var ring *obs.Ring
 	var t0 int64
@@ -74,6 +76,9 @@ func MapAtRatioContext(ctx context.Context, c *netlist.Circuit, phi int, opts Op
 	guard := startGuard(ctx)
 	defer guard.release()
 	conc := &stats.Concurrency{}
+	cache := newDecompCache(conc)
+	cache.openLog(opts)
+	defer cache.closeLog(opts)
 	opts.Progress.SetSampler(liveCounters(conc, opts.Trace))
 	opts.Progress.SetPhase("map")
 	var ring *obs.Ring
@@ -82,7 +87,7 @@ func MapAtRatioContext(ctx context.Context, c *netlist.Circuit, phi int, opts Op
 		ring = opts.Trace.NewRing("map")
 		t0 = ring.Now()
 	}
-	res, st, err := mapAtRatio(c, phi, opts, newDecompCache(conc), conc, guard)
+	res, st, err := mapAtRatio(c, phi, opts, cache, conc, guard)
 	if ring != nil {
 		ring.Span(obs.OpMap, t0, int64(phi), probeVerdict(err == nil, err))
 	}
@@ -158,6 +163,8 @@ func MinimizeContext(ctx context.Context, c *netlist.Circuit, opts Options) (*Re
 	// every probe, speculative or not, and the final mapping pass.
 	conc := &stats.Concurrency{}
 	cache := newDecompCache(conc)
+	cache.openLog(opts)
+	defer cache.closeLog(opts)
 	opts.Progress.SetSampler(liveCounters(conc, opts.Trace))
 	var total Stats
 	fail := func(err error, phase string, best int) (*Result, error) {

@@ -1,0 +1,53 @@
+package decomp
+
+import "turbosyn/internal/logic"
+
+// ApplyNPNToTree maps a decomposition tree through an NPN transform: given
+// a tree computing g over NumInputs leaves, it returns a tree computing
+// tr.Apply(g). Leaf i becomes leaf tr.Perm[i]; an input negation folds into
+// the consuming node's function at that child position; an output negation
+// folds into the root function. The input tree is never modified — node
+// functions are cloned before any rewrite, so trees shared through the
+// decomposition cache stay immutable. The identity transform returns t
+// itself.
+//
+// The engine decomposes the NPN-canonical form of every cone function and
+// calls this with the inverse transform, so a cached canonical tree and a
+// freshly computed one map back to the exact same cone tree — the warm-run
+// bit-identity guarantee rests on this being deterministic.
+func ApplyNPNToTree(t *Tree, tr logic.NPNTransform) *Tree {
+	if len(tr.Perm) != t.NumInputs {
+		panic("decomp: NPN transform arity does not match tree inputs")
+	}
+	if tr.Identity() {
+		return t
+	}
+	nodes := make([]TreeNode, len(t.Nodes))
+	for i, nd := range t.Nodes {
+		children := make([]int, len(nd.Children))
+		fn := nd.Func
+		cloned := false
+		for j, ch := range nd.Children {
+			if ch >= t.NumInputs {
+				children[j] = ch // internal references keep their numbering
+				continue
+			}
+			children[j] = tr.Perm[ch]
+			if tr.InputNeg>>uint(ch)&1 == 1 {
+				if !cloned {
+					fn = fn.Clone()
+					cloned = true
+				}
+				fn.FlipVarInPlace(j)
+			}
+		}
+		if i == len(t.Nodes)-1 && tr.OutputNeg {
+			if !cloned {
+				fn = fn.Clone()
+			}
+			fn.Not(fn)
+		}
+		nodes[i] = TreeNode{Func: fn, Children: children}
+	}
+	return &Tree{NumInputs: t.NumInputs, Nodes: nodes}
+}

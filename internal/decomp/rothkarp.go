@@ -313,12 +313,24 @@ type EffortStats struct {
 	// BoundSetsExamined is how many candidate bound sets the window scan
 	// actually examined (cache hits replay none).
 	BoundSetsExamined int
+	// RothKarpCalls is how many full Roth-Karp extractions ran (candidates
+	// the BDD pre-screen settled without extracting are not counted). The
+	// warm-cache gate pins its skip rate on this counter.
+	RothKarpCalls int
+	// ShannonSplits counts trees built by the Shannon-cofactor fast tier.
+	ShannonSplits int
+	// DisjointPeels counts root nodes built by the disjoint literal-peel
+	// fast tier.
+	DisjointPeels int
 }
 
 // effortState tracks consumption of one Decompose call's Effort.
 type effortState struct {
 	eff      Effort
 	examined int
+	rothkarp int
+	shannon  int
+	disjoint int
 	degraded bool
 }
 
@@ -389,7 +401,12 @@ func DecomposeEffort(f *logic.TT, k, depthBudget int, priority []int, eff Effort
 	}
 	es := &effortState{eff: eff}
 	if eff.Stats != nil {
-		defer func() { eff.Stats.BoundSetsExamined += es.examined }()
+		defer func() {
+			eff.Stats.BoundSetsExamined += es.examined
+			eff.Stats.RothKarpCalls += es.rothkarp
+			eff.Stats.ShannonSplits += es.shannon
+			eff.Stats.DisjointPeels += es.disjoint
+		}()
 	}
 	root, ok := decomposeOver(f, refs, k, depthBudget, rank, tr, es)
 	if !ok {
@@ -433,6 +450,14 @@ func decomposeOver(f *logic.TT, refs []int, k, depthBudget int, rank map[int]int
 	if root, ok := associativeTree(f, refs, k, depthBudget, tr); ok {
 		return root, true
 	}
+	// Cheap tiers before the exponential bound-set search: disjoint literal
+	// peeling, then a single-variable Shannon split (see tiers.go).
+	if root, ok := disjointPeelTree(f, refs, k, depthBudget, rank, tr, es); ok {
+		return root, true
+	}
+	if root, ok := shannonTree(f, refs, k, depthBudget, rank, tr, es); ok {
+		return root, true
+	}
 	mark := len(tr.Nodes)
 	fresh := make([]bool, f.NumVars()) // alphas created at this level
 	progressed := false
@@ -465,6 +490,7 @@ func decomposeOver(f *logic.TT, refs []int, k, depthBudget int, rank map[int]int
 				if !es.screen(f, bound, size-1) {
 					continue
 				}
+				es.rothkarp++
 				rk, ok := RothKarp(f, bound, size-1)
 				if !ok {
 					continue

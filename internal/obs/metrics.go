@@ -68,6 +68,7 @@ func (s Snapshot) gauges() []struct {
 		{"turbosyn_arena_peak_bytes", "busiest scratch arena footprint", float64(s.ArenaPeakBytes)},
 		{"turbosyn_cache_hits_total", "decomposition-cache hits", float64(s.CacheHits)},
 		{"turbosyn_cache_misses_total", "decomposition-cache misses", float64(s.CacheMisses)},
+		{"turbosyn_cache_persisted_hits_total", "decomposition-cache hits served from the persisted log", float64(s.CachePersisted)},
 		{"turbosyn_trace_events_total", "trace events recorded", float64(s.TraceEvents)},
 		{"turbosyn_trace_dropped_total", "trace events lost to ring wrap", float64(s.TraceDropped)},
 	}

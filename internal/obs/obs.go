@@ -64,6 +64,11 @@ const (
 	// OpCancel is a cancellation/abort observed by a worker (arg A =
 	// component id, -1 outside component context).
 	OpCancel
+	// OpCacheLoad / OpCacheFlush are persisted decomposition-cache log
+	// transfers at engine start / shutdown (arg A = entries moved, B = -1
+	// when the transfer failed).
+	OpCacheLoad
+	OpCacheFlush
 
 	// NumOps bounds the enum; keep it last.
 	NumOps
@@ -72,7 +77,7 @@ const (
 var opNames = [NumOps]string{
 	"label", "expand", "flow", "decompose", "pld",
 	"component", "probe", "map", "cache-hit", "cache-miss",
-	"degradation", "cancel",
+	"degradation", "cancel", "cache-load", "cache-flush",
 }
 
 func (o Op) String() string {

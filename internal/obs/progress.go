@@ -21,6 +21,7 @@ type Counters struct {
 	ArenaPeakBytes  int // busiest scratch arena's high-water footprint
 	CacheHits       int // decomposition-cache hits
 	CacheMisses     int // decomposition-cache misses
+	CachePersisted  int // hits served by entries loaded from a persisted cache log
 	TraceEvents     int // events recorded by the trace recorder (0 when off)
 	TraceDropped    int // events lost to ring wrap-around
 }

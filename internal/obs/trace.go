@@ -73,6 +73,11 @@ func argsFor(op Op, a, b int64) map[string]any {
 		if a >= 0 {
 			args["component"] = a
 		}
+	case OpCacheLoad, OpCacheFlush:
+		args["entries"] = a
+		if b < 0 {
+			args["error"] = true
+		}
 	}
 	if len(args) == 0 {
 		return nil

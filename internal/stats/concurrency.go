@@ -21,6 +21,8 @@ type Concurrency struct {
 	barriersEliminated atomic.Int64
 	cacheHits          atomic.Int64
 	cacheMisses        atomic.Int64
+	cachePersisted     atomic.Int64
+	cacheNPN           atomic.Int64
 	probesLaunched     atomic.Int64
 	probesCancelled    atomic.Int64
 	probesFinished     atomic.Int64
@@ -78,6 +80,14 @@ func (c *Concurrency) AddCacheHit() { c.cacheHits.Add(1) }
 // AddCacheMiss counts a sharded decomposition-cache miss.
 func (c *Concurrency) AddCacheMiss() { c.cacheMisses.Add(1) }
 
+// AddCachePersistedHit counts a cache hit served by an entry loaded from
+// the persisted cross-run log (a strict subset of AddCacheHit's count).
+func (c *Concurrency) AddCachePersistedHit() { c.cachePersisted.Add(1) }
+
+// AddCacheNPNHit counts a cache hit reached through a non-identity NPN
+// transform — a hit raw-function keying could not have shared.
+func (c *Concurrency) AddCacheNPNHit() { c.cacheNPN.Add(1) }
+
 // AddProbeLaunched counts a feasibility probe started by the search
 // (speculative or on the canonical binary-search path).
 func (c *Concurrency) AddProbeLaunched() { c.probesLaunched.Add(1) }
@@ -123,6 +133,8 @@ type ConcurrencySnapshot struct {
 	BarriersEliminated int // level barriers the dataflow scheduler avoided
 	CacheHits          int // sharded decomposition-cache hits
 	CacheMisses        int // sharded decomposition-cache misses
+	CachePersistedHits int // hits served by entries from the persisted log
+	CacheNPNHits       int // hits reached through a non-identity NPN transform
 	ProbesLaunched     int // feasibility probes started
 	ProbesCancelled    int // speculative probes cancelled
 	ProbesFinished     int // probes completed with any verdict
@@ -144,6 +156,8 @@ func (c *Concurrency) Snapshot() ConcurrencySnapshot {
 		BarriersEliminated: int(c.barriersEliminated.Load()),
 		CacheHits:          int(c.cacheHits.Load()),
 		CacheMisses:        int(c.cacheMisses.Load()),
+		CachePersistedHits: int(c.cachePersisted.Load()),
+		CacheNPNHits:       int(c.cacheNPN.Load()),
 		ProbesLaunched:     int(c.probesLaunched.Load()),
 		ProbesCancelled:    int(c.probesCancelled.Load()),
 		ProbesFinished:     int(c.probesFinished.Load()),

@@ -126,6 +126,13 @@ type Options struct {
 	// per dispatched task (0 = default of 64). Pure scheduling — results are
 	// bit-identical for every setting (see core.Options.TaskGrain).
 	TaskGrain int
+	// CacheDir, when non-empty, persists the decomposition cache across runs
+	// under this directory (created if missing): the engine loads the cache
+	// log at start and appends this run's new outcomes at the end. A warm
+	// cache skips the Roth-Karp searches and changes nothing but speed —
+	// results are bit-identical to a cold run; corrupt or version-skewed
+	// logs are discarded cleanly. See core.Options.CacheDir and DESIGN.md §9.
+	CacheDir string
 
 	// Resource budgets (0 = unlimited). By default exhausting a budget
 	// degrades gracefully: the affected node keeps its structural cover, the
@@ -355,6 +362,7 @@ func SynthesizeContext(ctx context.Context, c *Circuit, o Options) (out *Result,
 			Workers:         o.Workers,
 			NoWarmStart:     o.NoWarmStart,
 			TaskGrain:       o.TaskGrain,
+			CacheDir:        o.CacheDir,
 			BDDNodeBudget:   o.BDDNodeBudget,
 			RothKarpBudget:  o.RothKarpBudget,
 			ArenaByteBudget: o.ArenaByteBudget,
@@ -496,6 +504,7 @@ func FeasibleContext(ctx context.Context, c *Circuit, phi int, o Options) (bool,
 		Pipelined:       o.Objective == MinRatio,
 		Workers:         o.Workers,
 		TaskGrain:       o.TaskGrain,
+		CacheDir:        o.CacheDir,
 		BDDNodeBudget:   o.BDDNodeBudget,
 		RothKarpBudget:  o.RothKarpBudget,
 		ArenaByteBudget: o.ArenaByteBudget,
