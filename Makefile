@@ -78,12 +78,19 @@ fuzz-smoke:
 # allocs/op ratios; generous time threshold because runners differ, tighter
 # bytes/allocs thresholds because allocation is machine-independent — and a
 # benchmark that was allocation-free may never start allocating) before
-# replacing it.
+# replacing it. The second block does the same for the engine-reuse
+# benchmarks (one-shot Minimize vs a reused Engine), gated against
+# BENCH_engine.json — the artifact that shows the amortization actually
+# amortizes.
 bench-smoke:
 	$(GO) test -bench 'BenchmarkPLD|BenchmarkScale1k|BenchmarkPipeline4k|BenchmarkWarmProbes|BenchmarkColdProbes' -benchtime 1x -benchmem -run '^$$' -timeout 20m . | tee bench-smoke.txt
 	$(GO) run ./cmd/benchjson -o BENCH_new.json < bench-smoke.txt
 	$(GO) run ./cmd/benchjson -delta -max-time-ratio 3.0 -max-bytes-ratio 1.5 -max-allocs-ratio 1.5 BENCH_labels.json BENCH_new.json
 	mv BENCH_new.json BENCH_labels.json
+	$(GO) test -bench 'BenchmarkEngineReuse' -benchtime 1x -benchmem -run '^$$' -timeout 20m . | tee bench-engine.txt
+	$(GO) run ./cmd/benchjson -o BENCH_engine_new.json < bench-engine.txt
+	$(GO) run ./cmd/benchjson -delta -max-time-ratio 3.0 -max-bytes-ratio 1.5 -max-allocs-ratio 1.5 BENCH_engine.json BENCH_engine_new.json
+	mv BENCH_engine_new.json BENCH_engine.json
 
 # Sample observability artifact: synthesize one suite circuit with tracing,
 # logging and progress on, leaving trace.json for inspection (CI uploads it;

@@ -1,13 +1,16 @@
-// Command turbosyn maps a BLIF sequential circuit onto K-LUTs with the
-// selected algorithm and writes the result as BLIF.
+// Command turbosyn maps BLIF sequential circuits onto K-LUTs with the
+// selected algorithm and writes the results as BLIF.
 //
 // Usage:
 //
-//	turbosyn -k 5 -alg turbosyn [-objective ratio|period] [-o out.blif] in.blif
+//	turbosyn -k 5 -alg turbosyn [-objective ratio|period] [-repeat N] [-o out.blif] in.blif [more.blif ...]
 //
 // Reading from stdin ("-") is supported. The tool prints a one-line summary
-// (phi, LUT count, latency) on stderr and the mapped-and-realized netlist on
-// stdout or -o.
+// per input (phi, LUT count, latency) on stderr — plus an aggregate line when
+// mapping several files or repeating runs — and the mapped-and-realized
+// netlists on stdout or -o. Each input gets one reusable engine: the circuit
+// analysis, decomposition cache and worker arenas are built once and shared
+// by every -repeat run of that file.
 package main
 
 import (
@@ -34,7 +37,8 @@ func main() {
 		k          = flag.Int("k", 5, "LUT input count")
 		alg        = flag.String("alg", "turbosyn", "algorithm: turbosyn | turbomap | flowsyns")
 		objective  = flag.String("objective", "ratio", "objective: ratio (retiming+pipelining) | period (retiming only)")
-		out        = flag.String("o", "", "output file (default stdout)")
+		out        = flag.String("o", "", "output file (default stdout; only with a single input)")
+		repeat     = flag.Int("repeat", 1, "synthesize each input this many times on one reusable engine (reports per-run time; results are identical across runs)")
 		noPack     = flag.Bool("nopack", false, "skip LUT packing")
 		raw        = flag.Bool("mapped", false, "emit the mapped network before retiming instead of the realized one")
 		noPLD      = flag.Bool("nopld", false, "disable positive loop detection (n^2 stopping rule)")
@@ -48,16 +52,23 @@ func main() {
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file (samples carry a per-stage 'phase' label)")
 		memProfile = flag.String("memprofile", "", "write an allocation profile to this file after synthesis")
 
-		traceOut    = flag.String("trace", "", "write a Chrome/Perfetto trace (JSON) of the run to this file; written even when the run aborts")
+		traceOut    = flag.String("trace", "", "write a Chrome/Perfetto trace (JSON) of the runs to this file; written even when a run aborts")
 		verbose     = flag.Bool("v", false, "structured logging to stderr at debug level (per-probe verdicts, phase changes)")
 		logJSON     = flag.Bool("log-json", false, "emit structured logs as JSON (info level; combine with -v for debug)")
 		metricsAddr = flag.String("metrics-addr", "", "serve live run metrics on this address (/metrics Prometheus text, /debug/vars expvar)")
 	)
 	flag.Parse()
-	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: turbosyn [flags] <in.blif | ->")
+	if flag.NArg() < 1 {
+		fmt.Fprintln(os.Stderr, "usage: turbosyn [flags] <in.blif | -> [more.blif ...]")
 		flag.PrintDefaults()
 		os.Exit(2)
+	}
+	files := flag.Args()
+	if len(files) > 1 && *out != "" {
+		fatal(fmt.Errorf("-o accepts a single input; got %d (multi-input netlists go to stdout, one .model after another)", len(files)))
+	}
+	if *repeat < 1 {
+		fatal(fmt.Errorf("-repeat %d: must be at least 1", *repeat))
 	}
 
 	if *cpuProfile != "" {
@@ -73,20 +84,6 @@ func main() {
 			fatal(err)
 		}
 		defer pprof.StopCPUProfile()
-	}
-
-	var in io.Reader = os.Stdin
-	if name := flag.Arg(0); name != "-" {
-		f, err := os.Open(name)
-		if err != nil {
-			fatal(err)
-		}
-		defer f.Close()
-		in = f
-	}
-	c, err := turbosyn.ReadBLIF(in)
-	if err != nil {
-		fatal(err)
 	}
 
 	opts := turbosyn.Options{
@@ -134,7 +131,8 @@ func main() {
 	if *traceOut != "" {
 		// A generous per-worker ring (~1.5 MiB each) so typical runs retain
 		// every span; long runs wrap and keep the most recent events, with
-		// the drop count reported in the trace's otherData.
+		// the drop count reported in the trace's otherData. One recorder
+		// spans every input and repeat, so the trace shows them end to end.
 		opts.Trace = turbosyn.NewTraceRecorder(1 << 15)
 	}
 	// writeTrace flushes the recorded spans; safe on every exit path because
@@ -179,50 +177,115 @@ func main() {
 		defer cancel()
 	}
 
-	start := time.Now()
-	res, err := turbosyn.SynthesizeContext(ctx, c, opts)
-	if err != nil {
-		writeTrace()
-		var ce *turbosyn.CancelError
-		if errors.As(err, &ce) {
-			// The final Done snapshot is delivered before SynthesizeContext
-			// returns, so this is the run's complete partial-progress record.
-			s := met.Latest()
-			fmt.Fprintf(os.Stderr,
-				"turbosyn: %s: aborted during %s after %v (%v): best phi so far %s, %d iterations, %d/%d probes, %d degradations\n",
-				c.Name, s.Phase, s.Elapsed.Round(time.Millisecond), ce.Err,
-				phiString(s.BestPhi), s.Iterations, s.ProbesFinished, s.ProbesLaunched, s.Degradations)
-			os.Exit(1)
+	var (
+		totalRuns int
+		totalLUTs int
+		totalCPU  time.Duration
+	)
+	for _, name := range files {
+		var in io.Reader = os.Stdin
+		if name != "-" {
+			f, err := os.Open(name)
+			if err != nil {
+				fatal(err)
+			}
+			in = f
 		}
-		fatal(err)
-	}
-	writeTrace()
-	fmt.Fprintf(os.Stderr,
-		"%s: %v phi=%d luts=%d latency=%v cpu=%v (in: %d gates, %d FFs)\n",
-		c.Name, res.Algorithm, res.Phi, res.LUTs, res.Latency,
-		time.Since(start).Round(time.Millisecond), c.NumGates(), c.NumFFs())
-	if *cacheDir != "" {
-		fmt.Fprintf(os.Stderr,
-			"%s: decomp cache: %d/%d hits persisted, %d via NPN, %d roth-karp runs\n",
-			c.Name, res.Stats.CachePersistedHits, res.Stats.CacheShardHits,
-			res.Stats.CacheNPNHits, res.Stats.RothKarpCalls)
-	}
-
-	target := res.Realized
-	if *raw || target == nil {
-		target = res.Mapped
-	}
-	var w io.Writer = os.Stdout
-	if *out != "" {
-		f, err := os.Create(*out)
+		c, err := turbosyn.ReadBLIF(in)
+		if cl, ok := in.(io.Closer); ok {
+			cl.Close()
+		}
 		if err != nil {
+			fatal(fmt.Errorf("%s: %w", name, err))
+		}
+
+		// One reusable engine per circuit-option pair: analysis, caches and
+		// arenas are built once and every -repeat run checks out of them.
+		// FlowSYN-s has no reusable state, so it runs through the one-shot
+		// path instead.
+		var eng *turbosyn.Engine
+		if opts.Algorithm != turbosyn.FlowSYNS {
+			eng, err = turbosyn.NewEngine(c, opts)
+			if err != nil {
+				fatal(fmt.Errorf("%s: %w", name, err))
+			}
+		}
+		var res *turbosyn.Result
+		start := time.Now()
+		for r := 0; r < *repeat; r++ {
+			if eng != nil {
+				res, err = eng.SynthesizeContext(ctx)
+			} else {
+				res, err = turbosyn.SynthesizeContext(ctx, c, opts)
+			}
+			if err != nil {
+				if eng != nil {
+					eng.Close()
+				}
+				writeTrace()
+				var ce *turbosyn.CancelError
+				if errors.As(err, &ce) {
+					// The final Done snapshot is delivered before the run
+					// returns, so this is its complete partial-progress record.
+					s := met.Latest()
+					fmt.Fprintf(os.Stderr,
+						"turbosyn: %s: aborted during %s after %v (%v): best phi so far %s, %d iterations, %d/%d probes, %d degradations\n",
+						c.Name, s.Phase, s.Elapsed.Round(time.Millisecond), ce.Err,
+						phiString(s.BestPhi), s.Iterations, s.ProbesFinished, s.ProbesLaunched, s.Degradations)
+					os.Exit(1)
+				}
+				fatal(fmt.Errorf("%s: %w", c.Name, err))
+			}
+		}
+		elapsed := time.Since(start)
+		if eng != nil {
+			eng.Close()
+		}
+		totalRuns += *repeat
+		totalLUTs += res.LUTs
+		totalCPU += elapsed
+
+		perRun := ""
+		if *repeat > 1 {
+			perRun = fmt.Sprintf(" (%d runs, %v/run)", *repeat, (elapsed / time.Duration(*repeat)).Round(time.Millisecond))
+		}
+		fmt.Fprintf(os.Stderr,
+			"%s: %v phi=%d luts=%d latency=%v cpu=%v%s (in: %d gates, %d FFs)\n",
+			c.Name, res.Algorithm, res.Phi, res.LUTs, res.Latency,
+			elapsed.Round(time.Millisecond), perRun, c.NumGates(), c.NumFFs())
+		if *cacheDir != "" {
+			fmt.Fprintf(os.Stderr,
+				"%s: decomp cache: %d/%d hits persisted, %d via NPN, %d roth-karp runs\n",
+				c.Name, res.Stats.CachePersistedHits, res.Stats.CacheShardHits,
+				res.Stats.CacheNPNHits, res.Stats.RothKarpCalls)
+		}
+
+		target := res.Realized
+		if *raw || target == nil {
+			target = res.Mapped
+		}
+		var w io.Writer = os.Stdout
+		if *out != "" {
+			f, err := os.Create(*out)
+			if err != nil {
+				fatal(err)
+			}
+			if err := turbosyn.WriteBLIF(f, target); err != nil {
+				f.Close()
+				fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+		} else if err := turbosyn.WriteBLIF(w, target); err != nil {
 			fatal(err)
 		}
-		defer f.Close()
-		w = f
 	}
-	if err := turbosyn.WriteBLIF(w, target); err != nil {
-		fatal(err)
+	writeTrace()
+	if len(files) > 1 || *repeat > 1 {
+		fmt.Fprintf(os.Stderr, "total: %d circuits, %d runs, luts=%d, cpu=%v (%v/run)\n",
+			len(files), totalRuns, totalLUTs, totalCPU.Round(time.Millisecond),
+			(totalCPU / time.Duration(totalRuns)).Round(time.Millisecond))
 	}
 
 	if *memProfile != "" {

@@ -28,6 +28,12 @@ type arena struct {
 	varOf []int // replica id -> cut variable, -1 inside the cone
 	memo  []*logic.TT
 
+	// tt recycles the transient truth tables of cone-function evaluation
+	// (Shannon cofactors, composition intermediates, per-replica memo
+	// entries). Single-owner like the rest of the arena; warm tables survive
+	// probe and run boundaries through the engine's arena pool.
+	tt logic.TTPool
+
 	// NPN canonicalization memo (worker-local, so lock-free): cone functions
 	// recur heavily across label iterations and the exact canonicalization of
 	// a 6-input cone enumerates ~92k candidates, so tryDecompose memoizes
@@ -51,6 +57,13 @@ type arena struct {
 	// (safeRunComp) to attribute a contained panic to a node.
 	curNode int
 
+	// poisoned marks an arena whose run was interrupted in a way that may
+	// have left its scratch mid-mutation (a contained panic in the owning
+	// worker, or a run aborted by cancellation/strict budget). A poisoned
+	// arena is discarded at pool checkin instead of being reused; the flag is
+	// cleared on checkout of a (necessarily clean) pooled arena.
+	poisoned bool
+
 	// ring is the owning worker's trace buffer, nil unless Options.Trace is
 	// set. Single-owner like the rest of the arena: only the goroutine
 	// running on this arena writes it, and the recorder reads it after the
@@ -62,14 +75,14 @@ type arena struct {
 // ArenaByteBudget degradation). The arena stays usable; it just re-grows
 // from cold on its next use.
 func (ar *arena) reset() {
-	*ar = arena{curNode: ar.curNode, ring: ar.ring}
+	*ar = arena{curNode: ar.curNode, ring: ar.ring, poisoned: ar.poisoned}
 }
 
 // bytes reports the approximate footprint of the arena's retained arrays
 // (the Stats.ArenaPeakBytes high-water mark).
 func (ar *arena) bytes() int {
 	return ar.xb.Bytes() + ar.ca.Bytes() +
-		cap(ar.varOf)*8 + cap(ar.memo)*8 +
+		cap(ar.varOf)*8 + cap(ar.memo)*8 + ar.tt.Bytes() +
 		cap(ar.updatable)*8 + cap(ar.reach) + cap(ar.rqueue)*8 +
 		len(ar.npnMemo)*npnEntryBytes + cap(ar.npnKey)
 }
@@ -109,13 +122,29 @@ func (ar *arena) npnCanon(fn *logic.TT) (*logic.TT, logic.NPNTransform) {
 	return canon, tr
 }
 
-// arenaFor returns the worker's scratch arena, creating it on first use.
-// Creation is the cold path where the worker's trace ring is attached too:
-// one ring per (probe, worker), labelled by the probe's phi so a trace
-// groups each probe's workers together.
+// arenaFor returns the worker's scratch arena, checking it out of the
+// engine's pool (warm backing arrays, no re-growth) or creating it on first
+// use. The cold path also attaches the worker's trace ring: one ring per
+// (probe, worker), labelled by the probe's phi so a trace groups each
+// probe's workers together.
+//
+// Callers never race: the sequential sweep asks for arena 0 on the run
+// goroutine, and the parallel scheduler checks every worker's arena out
+// before spawning the pool — which also makes the checkout counters plain
+// s.stats writes.
 func (s *state) arenaFor(w int) *arena {
 	for len(s.arenas) <= w {
-		ar := &arena{curNode: -1}
+		var ar *arena
+		if s.pool != nil {
+			var pooled bool
+			ar, pooled = s.pool.checkout()
+			s.stats.ArenaCheckouts++
+			if pooled {
+				s.stats.ArenaPoolHits++
+			}
+		} else {
+			ar = &arena{curNode: -1}
+		}
 		if s.rec != nil {
 			ar.ring = s.rec.NewRing(fmt.Sprintf("phi=%d worker %d", s.phi, len(s.arenas)))
 		}

@@ -37,22 +37,24 @@ type decompEntry struct {
 	persisted bool
 }
 
+// A decompCache outlives any single run — the Engine shares one across every
+// probe of every run — so it carries no per-run state: hit/miss accounting
+// goes to the counter set the caller passes into lookup.
 type decompCache struct {
-	conc   *stats.Concurrency
 	seed   maphash.Seed
 	log    *cachelog.Log // non-nil once openLog succeeded on a CacheDir
 	shards [decompCacheShards]struct {
 		mu sync.Mutex
 		m  map[string]decompEntry
-		// dirty lists keys stored this run that the log does not have yet
-		// (first store wins; degraded entries are never listed). Drained by
-		// closeLog.
+		// dirty lists keys stored since the last flush that the log does not
+		// have yet (first store wins; degraded entries are never listed).
+		// Drained by closeLog.
 		dirty []string
 	}
 }
 
-func newDecompCache(conc *stats.Concurrency) *decompCache {
-	dc := &decompCache{conc: conc, seed: maphash.MakeSeed()}
+func newDecompCache() *decompCache {
+	dc := &decompCache{seed: maphash.MakeSeed()}
 	for i := range dc.shards {
 		dc.shards[i].m = make(map[string]decompEntry)
 	}
@@ -64,19 +66,20 @@ func (dc *decompCache) shardFor(key string) int {
 }
 
 // lookup returns the cached outcome (entry.tree nil = cached failure) and
-// whether the key was present.
-func (dc *decompCache) lookup(key string) (decompEntry, bool) {
+// whether the key was present, charging the hit/miss to the calling run's
+// counter set.
+func (dc *decompCache) lookup(key string, conc *stats.Concurrency) (decompEntry, bool) {
 	sh := &dc.shards[dc.shardFor(key)]
 	sh.mu.Lock()
 	entry, ok := sh.m[key]
 	sh.mu.Unlock()
 	if ok {
-		dc.conc.AddCacheHit()
+		conc.AddCacheHit()
 		if entry.persisted {
-			dc.conc.AddCachePersistedHit()
+			conc.AddCachePersistedHit()
 		}
 	} else {
-		dc.conc.AddCacheMiss()
+		conc.AddCacheMiss()
 	}
 	return entry, ok
 }

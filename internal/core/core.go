@@ -210,6 +210,12 @@ type Stats struct {
 	ArenaPeakBytes int // high-water footprint of the busiest scratch arena
 	WarmStarts     int // search probes seeded from a neighbouring probe's labels
 
+	// Engine arena-pool effectiveness (zero on the throwaway path, where
+	// states have no pool): how many worker arenas this run checked out, and
+	// how many of those came warm from the pool instead of being created.
+	ArenaCheckouts int
+	ArenaPoolHits  int
+
 	// BoundSetsExamined counts the candidate bound sets Roth-Karp window
 	// scans actually examined (decomposition-cache hits replay none); the
 	// per-attempt counts also annotate decompose spans in exported traces.
@@ -265,6 +271,8 @@ func (s *Stats) Add(s2 Stats) {
 		s.ArenaPeakBytes = s2.ArenaPeakBytes
 	}
 	s.WarmStarts += s2.WarmStarts
+	s.ArenaCheckouts += s2.ArenaCheckouts
+	s.ArenaPoolHits += s2.ArenaPoolHits
 	s.BoundSetsExamined += s2.BoundSetsExamined
 	s.RothKarpCalls += s2.RothKarpCalls
 	s.ShannonSplits += s2.ShannonSplits

@@ -1,0 +1,487 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"turbosyn/internal/graph"
+	"turbosyn/internal/netlist"
+	"turbosyn/internal/obs"
+	"turbosyn/internal/retime"
+	"turbosyn/internal/stats"
+)
+
+// analysis is everything the label engine derives from the circuit alone —
+// no dependence on phi, Options or scheduling. Computed once per Engine (or
+// once per newState on the throwaway path) and shared read-only by every
+// probe, sequential or speculative: the comb topo order, the SCC
+// decomposition and condensation levels, per-component member order, the
+// condensation in-degrees, and the per-component work summary the dataflow
+// scheduler needs (updatable member counts, triviality flags, the number of
+// schedulable components and of levels carrying work).
+type analysis struct {
+	order       []int
+	sccs        *graph.SCCs
+	levels      []int
+	memberOrder [][]int
+	indeg       []int
+
+	// Dataflow-scheduler work summary (see runParallel).
+	updates    []int  // updatable members per component
+	trivial    []bool // singleton, acyclic components (inline-chainable)
+	workCount  int    // components with at least one updatable member
+	workLevels int    // condensation levels carrying schedulable work
+}
+
+// analyze computes the circuit-invariant analysis.
+func analyze(c *netlist.Circuit) *analysis {
+	an := &analysis{
+		order: c.CombTopoOrder(),
+		sccs:  graph.StronglyConnected(c.Adj()),
+	}
+	an.levels = an.sccs.Levels()
+	an.indeg = an.sccs.InDegrees()
+	nc := an.sccs.NumComps()
+	an.memberOrder = make([][]int, nc)
+	for _, id := range an.order { // comb topo order within each component
+		comp := an.sccs.Comp[id]
+		an.memberOrder[comp] = append(an.memberOrder[comp], id)
+	}
+	an.updates = make([]int, nc)
+	an.trivial = make([]bool, nc)
+	levelSeen := make([]bool, nc)
+	for comp := 0; comp < nc; comp++ {
+		members := an.memberOrder[comp]
+		for _, id := range members {
+			n := c.Nodes[id]
+			if n.Kind != netlist.PI && len(n.Fanins) > 0 {
+				an.updates[comp]++
+			}
+		}
+		if an.updates[comp] > 0 {
+			an.workCount++
+			if !levelSeen[an.levels[comp]] {
+				levelSeen[an.levels[comp]] = true
+				an.workLevels++
+			}
+		}
+		if len(members) == 1 {
+			id := members[0]
+			self := false
+			for _, f := range c.Nodes[id].Fanins {
+				if f.From == id {
+					self = true
+					break
+				}
+			}
+			an.trivial[comp] = !self
+		}
+	}
+	return an
+}
+
+// arenaPool is the Engine's checkout pool of worker scratch arenas. Arenas
+// survive probe and run boundaries here: a probe checks its workers' arenas
+// out (arenaFor), runs on them exclusively, and checks them back in when the
+// probe's state returns to the engine. Pooled arenas keep their warm backing
+// arrays (expansion builder, flow network, NPN memo), so repeated runs skip
+// the arena re-warmup entirely; only the transient per-probe fields (trace
+// ring, expansion validity, current node) are reset on checkout.
+//
+// An arena is discarded instead of pooled when it is poisoned — its run
+// aborted via a contained panic, a strict budget or context cancellation, so
+// its scratch may be mid-mutation — or when its retained footprint exceeds
+// the run's ArenaByteBudget. Discarding is safe by the same argument that
+// makes arena.reset safe: arenas are pure scratch, invisible in results.
+type arenaPool struct {
+	mu       sync.Mutex
+	free     []*arena
+	reuses   int
+	creates  int
+	discards int
+}
+
+// checkout pops a pooled arena (reset to its transient defaults) or creates
+// a fresh one; pooled reports which.
+func (p *arenaPool) checkout() (ar *arena, pooled bool) {
+	p.mu.Lock()
+	if n := len(p.free); n > 0 {
+		ar = p.free[n-1]
+		p.free[n-1] = nil
+		p.free = p.free[:n-1]
+		p.reuses++
+		pooled = true
+	} else {
+		p.creates++
+	}
+	p.mu.Unlock()
+	if ar == nil {
+		ar = &arena{}
+	}
+	ar.ring = nil
+	ar.built = false
+	ar.builtL = 0
+	ar.curNode = -1
+	ar.poisoned = false
+	return ar, pooled
+}
+
+// checkin returns ar to the pool, discarding it when poisoned or when its
+// retained footprint exceeds budget (0 = unlimited).
+func (p *arenaPool) checkin(ar *arena, budget int) {
+	ar.ring = nil
+	discard := ar.poisoned || (budget > 0 && ar.bytes() > budget)
+	p.mu.Lock()
+	if discard {
+		p.discards++
+	} else {
+		p.free = append(p.free, ar)
+	}
+	p.mu.Unlock()
+}
+
+// snapshot returns the pool's current counters and retained footprint.
+func (p *arenaPool) snapshot() PoolStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	ps := PoolStats{
+		Free:     len(p.free),
+		Reuses:   p.reuses,
+		Creates:  p.creates,
+		Discards: p.discards,
+	}
+	for _, ar := range p.free {
+		ps.FreeBytes += ar.bytes()
+	}
+	return ps
+}
+
+// PoolStats reports the state of an Engine's arena pool: how many arenas are
+// parked (and their retained bytes), and the lifetime checkout traffic.
+// Reuses + Creates equals the total checkouts; Discards counts arenas
+// dropped at checkin because their run was poisoned (contained panic, strict
+// budget, cancellation) or they outgrew the arena byte budget.
+type PoolStats struct {
+	Free      int
+	FreeBytes int
+	Reuses    int
+	Creates   int
+	Discards  int
+}
+
+// Engine owns everything invariant across probes and runs on one circuit:
+// the graph analysis (topo order, SCCs, condensation levels and degrees,
+// per-component work summary), the NPN-keyed decomposition cache — including
+// the persisted cross-run log, loaded once at construction instead of per
+// run — and the checkout pools of worker arenas and probe states. Every
+// probe of every run on the engine checks a state out instead of rebuilding
+// this from scratch, which is what makes repeated runs (the daemon workload
+// of ROADMAP item 1) and the O(log ub) probes of one Minimize cheap.
+//
+// An Engine is safe for concurrent use; results are bit-identical to the
+// package-level functions (which are themselves thin wrappers over a
+// throwaway engine). Close flushes the persistent cache log; runs started
+// after Close still compute correctly but their new cache entries are lost.
+//
+// Per-call Options may vary freely between runs on one engine — the
+// turbomap-ub pass inside Minimize already relies on that — with one
+// exception: cache persistence (CacheDir) is fixed at construction, and the
+// CacheDir of per-call options is ignored.
+type Engine struct {
+	c     *netlist.Circuit
+	opts  Options // construction options: cache persistence, pool budget
+	an    *analysis
+	cache *decompCache
+	pool  *arenaPool
+
+	mu     sync.Mutex
+	states []*state
+	closed bool
+}
+
+// NewEngine validates c against opts, analyzes it once and returns an engine
+// ready to serve probes and runs. When opts.CacheDir is set the persisted
+// decomposition log is loaded here, once, rather than on every run.
+func NewEngine(c *netlist.Circuit, opts Options) (*Engine, error) {
+	opts = opts.withDefaults()
+	if err := validateInput(c, opts); err != nil {
+		return nil, err
+	}
+	e := &Engine{
+		c:     c,
+		opts:  opts,
+		an:    analyze(c),
+		cache: newDecompCache(),
+		pool:  &arenaPool{},
+	}
+	e.cache.openLog(opts)
+	return e, nil
+}
+
+// Close flushes the persistent decomposition log (when the engine was
+// constructed with a CacheDir) and marks the engine closed. Safe to call
+// more than once; only the first call flushes.
+func (e *Engine) Close() error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil
+	}
+	e.closed = true
+	e.mu.Unlock()
+	e.cache.closeLog(e.opts)
+	return nil
+}
+
+// PoolStats reports the engine's arena-pool counters (see PoolStats). The
+// chaos suite uses Discards to assert poisoning; the reuse tests use Free
+// and FreeBytes to pin the pool's footprint bound.
+func (e *Engine) PoolStats() PoolStats { return e.pool.snapshot() }
+
+// checkoutState returns a probe state wired to the engine: analysis shared,
+// arena pool attached, per-probe fields reset for (phi, opts). The caller
+// must attach the run's counters/cancel flag and guard, and must return the
+// state with checkinState on every path.
+func (e *Engine) checkoutState(phi int, opts Options) *state {
+	e.mu.Lock()
+	var s *state
+	if n := len(e.states); n > 0 {
+		s = e.states[n-1]
+		e.states[n-1] = nil
+		e.states = e.states[:n-1]
+	}
+	e.mu.Unlock()
+	if s == nil {
+		s = blankState(e.c, e.an, e.pool)
+	}
+	s.resetFor(phi, opts)
+	s.cache = e.cache
+	return s
+}
+
+// checkinState releases a probe state back to the engine. The state's arenas
+// return to the pool — poisoned first when the probe aborted through a fatal
+// error (contained panic, strict budget) or context cancellation, so scratch
+// that may have been interrupted mid-mutation is never reused. The state
+// shell itself is always reusable: resetFor reinitializes every per-probe
+// field from scratch on the next checkout.
+func (e *Engine) checkinState(s *state) {
+	poisoned := s.fails.tripped() || s.guard.cancelled()
+	for _, ar := range s.arenas {
+		if poisoned {
+			ar.poisoned = true
+		}
+		e.pool.checkin(ar, s.opts.ArenaByteBudget)
+	}
+	s.arenas = s.arenas[:0]
+	s.cache = nil
+	s.conc = nil
+	s.cancel = nil
+	s.guard = nil
+	s.rec = nil
+	s.compDone = nil
+	e.mu.Lock()
+	e.states = append(e.states, s)
+	e.mu.Unlock()
+}
+
+// Feasible is FeasibleContext with a background context.
+func (e *Engine) Feasible(phi int, opts Options) (bool, Stats, error) {
+	return e.FeasibleContext(context.Background(), phi, opts)
+}
+
+// FeasibleContext decides Problem 2 on the engine's circuit: does a mapping
+// with clock period (or, when opts.Pipelined, MDR ratio) at most phi exist?
+// Equivalent to the package-level FeasibleContext, minus the per-call
+// analysis and cache construction.
+func (e *Engine) FeasibleContext(ctx context.Context, phi int, opts Options) (bool, Stats, error) {
+	opts = opts.withDefaults()
+	if err := validateInput(e.c, opts); err != nil {
+		return false, Stats{}, err
+	}
+	if phi < 1 {
+		return false, Stats{}, nil
+	}
+	guard := startGuard(ctx)
+	defer guard.release()
+	conc := &stats.Concurrency{}
+	s := e.checkoutState(phi, opts)
+	defer e.checkinState(s)
+	s.attach(e.cache, conc, nil)
+	s.guard = guard
+	opts.Progress.SetSampler(liveCounters(conc, opts.Trace))
+	var ring *obs.Ring
+	var t0 int64
+	if opts.Trace != nil {
+		ring = opts.Trace.NewRing("probe")
+		t0 = ring.Now()
+	}
+	conc.AddProbeLaunched()
+	ok, err := s.run()
+	if ring != nil {
+		ring.Span(obs.OpProbe, t0, int64(phi), probeVerdict(ok, err))
+	}
+	if opts.Logger != nil {
+		opts.Logger.Debug("probe", "phi", phi, "feasible", ok,
+			"iterations", s.stats.Iterations, "cutChecks", s.stats.CutChecks, "err", err)
+	}
+	st := s.stats
+	st.fold(conc.Snapshot())
+	foldTrace(&st, opts.Trace)
+	if err != nil {
+		return false, st, wrapAbort(err, "probe", -1, st)
+	}
+	return ok, st, nil
+}
+
+// MapAtRatio is MapAtRatioContext with a background context.
+func (e *Engine) MapAtRatio(phi int, opts Options) (*Result, error) {
+	return e.MapAtRatioContext(context.Background(), phi, opts)
+}
+
+// MapAtRatioContext computes labels and a mapped LUT network for a specific
+// feasible phi on the engine's circuit. It fails if phi is infeasible.
+func (e *Engine) MapAtRatioContext(ctx context.Context, phi int, opts Options) (*Result, error) {
+	opts = opts.withDefaults()
+	if err := validateInput(e.c, opts); err != nil {
+		return nil, err
+	}
+	guard := startGuard(ctx)
+	defer guard.release()
+	conc := &stats.Concurrency{}
+	opts.Progress.SetSampler(liveCounters(conc, opts.Trace))
+	opts.Progress.SetPhase("map")
+	var ring *obs.Ring
+	var t0 int64
+	if opts.Trace != nil {
+		ring = opts.Trace.NewRing("map")
+		t0 = ring.Now()
+	}
+	res, st, err := e.mapAtRatio(phi, opts, conc, guard)
+	if ring != nil {
+		ring.Span(obs.OpMap, t0, int64(phi), probeVerdict(err == nil, err))
+	}
+	if err != nil {
+		st.fold(conc.Snapshot())
+		foldTrace(&st, opts.Trace)
+		return nil, wrapAbort(err, "map", -1, st)
+	}
+	res.Stats.fold(conc.Snapshot())
+	foldTrace(&res.Stats, opts.Trace)
+	return res, nil
+}
+
+// mapAtRatio is MapAtRatio over a search-wide counter set and context guard;
+// the caller folds the counters into the final Stats exactly once. The
+// returned Stats carry the partial work even when err != nil.
+func (e *Engine) mapAtRatio(phi int, opts Options, conc *stats.Concurrency, guard *runGuard) (*Result, Stats, error) {
+	s := e.checkoutState(phi, opts)
+	defer e.checkinState(s)
+	s.attach(e.cache, conc, nil)
+	s.guard = guard
+	conc.AddProbeLaunched()
+	ok, err := s.run()
+	if err != nil {
+		return nil, s.stats, err
+	}
+	if !ok {
+		return nil, s.stats, fmt.Errorf("core: target %d is infeasible for %s", phi, e.c.Name)
+	}
+	if opts.Relax && opts.Decompose {
+		if err := s.relaxForArea(); err != nil {
+			return nil, s.stats, err
+		}
+	}
+	m, origOf, err := s.generate()
+	if err != nil {
+		return nil, s.stats, err
+	}
+	return &Result{
+		Phi: phi,
+		// The state returns to the engine and its label array is reused by
+		// the next probe; the result must own its copy.
+		Labels: append([]int(nil), s.labels...),
+		Mapped: m,
+		LUTs:   m.NumGates(),
+		OrigOf: origOf,
+		Stats:  s.stats,
+		Opts:   opts,
+	}, s.stats, nil
+}
+
+// Minimize is MinimizeContext with a background context.
+func (e *Engine) Minimize(opts Options) (*Result, error) {
+	return e.MinimizeContext(context.Background(), opts)
+}
+
+// MinimizeContext finds the minimum feasible phi by binary search on the
+// engine's circuit and returns the mapping at that phi (see the package
+// MinimizeContext for the search and abort semantics). Every probe of the
+// search — speculative lookaheads included — checks its state and arenas out
+// of the engine instead of rebuilding the circuit analysis.
+func (e *Engine) MinimizeContext(ctx context.Context, opts Options) (*Result, error) {
+	opts = opts.withDefaults()
+	if err := validateInput(e.c, opts); err != nil {
+		return nil, err
+	}
+	guard := startGuard(ctx)
+	defer guard.release()
+	// One counter set spans the whole search — every probe, speculative or
+	// not, and the final mapping pass. (The decomposition cache is the
+	// engine's and spans runs.)
+	conc := &stats.Concurrency{}
+	opts.Progress.SetSampler(liveCounters(conc, opts.Trace))
+	var total Stats
+	fail := func(err error, phase string, best int) (*Result, error) {
+		if opts.Logger != nil {
+			opts.Logger.Warn("search aborted", "phase", phase, "bestPhi", best, "err", err)
+		}
+		total.fold(conc.Snapshot())
+		foldTrace(&total, opts.Trace)
+		return nil, wrapAbort(err, phase, best, total)
+	}
+	ub := retime.Period(e.c)
+	if ub < 1 {
+		ub = 1
+	}
+	if opts.Decompose && opts.Pipelined {
+		// Paper's UB: TurboMap's optimum seeds TurboSYN's search.
+		opts.Progress.SetPhase("turbomap-ub")
+		tmOpts := opts
+		tmOpts.Decompose = false
+		tm, err := e.minimizeSearch(ub, tmOpts, &total, conc, guard)
+		if err != nil {
+			return fail(err, "turbomap-ub", tm)
+		}
+		if opts.Logger != nil {
+			opts.Logger.Debug("turbomap upper bound", "ub", tm, "retimedUB", ub)
+		}
+		ub = tm
+	}
+	opts.Progress.SetPhase("search")
+	best, err := e.minimizeSearch(ub, opts, &total, conc, guard)
+	if err != nil {
+		return fail(err, "search", best)
+	}
+	opts.Progress.SetPhase("map")
+	var mapRing *obs.Ring
+	var t0 int64
+	if opts.Trace != nil {
+		mapRing = opts.Trace.NewRing("map")
+		t0 = mapRing.Now()
+	}
+	res, st, err := e.mapAtRatio(best, opts, conc, guard)
+	if mapRing != nil {
+		mapRing.Span(obs.OpMap, t0, int64(best), probeVerdict(err == nil, err))
+	}
+	if err != nil {
+		total.Add(st)
+		return fail(err, "map", best)
+	}
+	total.Add(res.Stats)
+	res.Stats = total
+	res.Stats.fold(conc.Snapshot())
+	foldTrace(&res.Stats, opts.Trace)
+	return res, nil
+}

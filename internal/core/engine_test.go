@@ -1,0 +1,227 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+// TestEngineReuseBitIdentical pins the engine's core contract: repeated runs
+// on one Engine — analysis shared, decomposition cache warm, arenas and
+// states pooled — produce results bit-identical to the one-shot package
+// functions, for the sequential path and both parallel pool sizes. Labels,
+// phi, LUT count and the serialized netlist are all compared, so any scratch
+// leaking between runs through the pools shows up here.
+func TestEngineReuseBitIdentical(t *testing.T) {
+	c := faultCircuit(t)
+	for _, workers := range []int{1, 2, 8} {
+		t.Run(fmt.Sprintf("j%d", workers), func(t *testing.T) {
+			opts := DefaultOptions()
+			opts.Workers = workers
+			want, err := Minimize(c, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantBLIF := blifBytes(t, want.Mapped)
+
+			e, err := NewEngine(c, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer e.Close()
+			for run := 1; run <= 3; run++ {
+				res, err := e.Minimize(opts)
+				if err != nil {
+					t.Fatalf("run %d: %v", run, err)
+				}
+				if res.Phi != want.Phi || res.LUTs != want.LUTs {
+					t.Fatalf("run %d diverged: phi %d/%d, LUTs %d/%d",
+						run, res.Phi, want.Phi, res.LUTs, want.LUTs)
+				}
+				if len(res.Labels) != len(want.Labels) {
+					t.Fatalf("run %d: %d labels, want %d", run, len(res.Labels), len(want.Labels))
+				}
+				for i := range res.Labels {
+					if res.Labels[i] != want.Labels[i] {
+						t.Fatalf("run %d: label[%d] = %d, want %d",
+							run, i, res.Labels[i], want.Labels[i])
+					}
+				}
+				if !bytes.Equal(blifBytes(t, res.Mapped), wantBLIF) {
+					t.Fatalf("run %d: mapped netlist diverged from the one-shot path", run)
+				}
+			}
+			ps := e.PoolStats()
+			if ps.Reuses == 0 {
+				t.Error("three runs on one engine never reused a pooled arena")
+			}
+			if ps.Discards != 0 {
+				t.Errorf("clean runs discarded %d arenas", ps.Discards)
+			}
+		})
+	}
+}
+
+// TestEngineFeasibleMatchesOneShot: the engine's single-probe entry point
+// agrees with the package-level one on both verdicts, and pools across
+// probes.
+func TestEngineFeasibleMatchesOneShot(t *testing.T) {
+	c := faultCircuit(t)
+	opts := DefaultOptions()
+	opts.Workers = 2
+	e, err := NewEngine(c, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	for phi := 1; phi <= 4; phi++ {
+		want, _, err := Feasible(c, phi, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, _, err := e.Feasible(phi, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("phi=%d: engine says %v, one-shot says %v", phi, got, want)
+		}
+	}
+	if ps := e.PoolStats(); ps.Reuses == 0 {
+		t.Error("four probes on one engine never reused an arena")
+	}
+}
+
+// TestEngineMapAtRatioMatchesOneShot covers the remaining public entry
+// point, including the infeasible-target error path (which poisons nothing:
+// an infeasible probe completes normally).
+func TestEngineMapAtRatioMatchesOneShot(t *testing.T) {
+	c := faultCircuit(t)
+	opts := DefaultOptions()
+	min, err := Minimize(c, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewEngine(c, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	if min.Phi > 1 {
+		if _, err := e.MapAtRatio(min.Phi-1, opts); err == nil {
+			t.Fatal("mapping below the optimum must fail")
+		}
+	}
+	want, err := MapAtRatio(c, min.Phi, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := e.MapAtRatio(min.Phi, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Phi != want.Phi || got.LUTs != want.LUTs {
+		t.Fatalf("engine map diverged: phi %d/%d, LUTs %d/%d",
+			got.Phi, want.Phi, got.LUTs, want.LUTs)
+	}
+	if !bytes.Equal(blifBytes(t, got.Mapped), blifBytes(t, want.Mapped)) {
+		t.Error("engine map netlist diverged from the one-shot path")
+	}
+	if ps := e.PoolStats(); ps.Discards != 0 {
+		t.Errorf("infeasible probe discarded %d arenas; infeasibility is not poison", ps.Discards)
+	}
+}
+
+// TestArenaPoolBounded: 20 Minimize runs on one engine must converge to a
+// steady state — after a short warmup no new arenas are created, nothing is
+// discarded, and the pool's retained footprint stops growing. A linear
+// growth in Creates or FreeBytes here means arenas leak past the pool.
+func TestArenaPoolBounded(t *testing.T) {
+	c := faultCircuit(t)
+	opts := DefaultOptions()
+	opts.Workers = 4
+	e, err := NewEngine(c, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	var warm PoolStats
+	for run := 1; run <= 20; run++ {
+		if _, err := e.Minimize(opts); err != nil {
+			t.Fatalf("run %d: %v", run, err)
+		}
+		if run == 5 {
+			warm = e.PoolStats()
+		}
+	}
+	final := e.PoolStats()
+	// Transient probe concurrency can still demand a few extra arenas right
+	// after warmup; what must not happen is per-run growth.
+	if final.Creates > warm.Creates+opts.Workers {
+		t.Errorf("arena creates kept growing after warmup: %d -> %d", warm.Creates, final.Creates)
+	}
+	if final.Discards != 0 {
+		t.Errorf("clean runs discarded %d arenas", final.Discards)
+	}
+	if final.FreeBytes > 2*warm.FreeBytes+1<<20 {
+		t.Errorf("pooled bytes grew past bound: warm %d, final %d", warm.FreeBytes, final.FreeBytes)
+	}
+	if final.Reuses < 15*opts.Workers {
+		t.Errorf("pool barely reused: %+v", final)
+	}
+}
+
+// TestArenaPoolCheckinRules unit-tests the pool's discard policy directly
+// (the engine paths can't reach the over-budget branch: the in-run budget
+// degradation resets an arena before it ever reaches checkin oversized).
+// Poisoned arenas and arenas over the byte budget are dropped; clean ones
+// are pooled, and checkout clears the transient per-probe fields.
+func TestArenaPoolCheckinRules(t *testing.T) {
+	p := &arenaPool{}
+	ar, pooled := p.checkout()
+	if pooled {
+		t.Fatal("empty pool claimed a pooled arena")
+	}
+	ar.varOf = make([]int, 1024) // retained footprint: 8 KiB
+	p.checkin(ar, 0)             // unlimited budget: pooled
+	if ps := p.snapshot(); ps.Free != 1 || ps.FreeBytes != ar.bytes() {
+		t.Fatalf("clean arena not pooled: %+v", ps)
+	}
+	ar2, pooled := p.checkout()
+	if !pooled || ar2 != ar {
+		t.Fatal("checkout did not reuse the pooled arena")
+	}
+	if ar2.poisoned || ar2.built || ar2.ring != nil || ar2.curNode != -1 {
+		t.Fatalf("checkout left transient fields set: %+v", ar2)
+	}
+	p.checkin(ar2, 100) // 8 KiB retained > 100-byte budget: discarded
+	if ps := p.snapshot(); ps.Free != 0 || ps.Discards != 1 {
+		t.Fatalf("over-budget arena not discarded: %+v", ps)
+	}
+	ar3, _ := p.checkout()
+	ar3.poisoned = true
+	p.checkin(ar3, 0)
+	if ps := p.snapshot(); ps.Free != 0 || ps.Discards != 2 {
+		t.Fatalf("poisoned arena not discarded: %+v", ps)
+	}
+}
+
+// TestEngineCloseIdempotent: Close flushes once and tolerates repeats; runs
+// after Close still compute.
+func TestEngineCloseIdempotent(t *testing.T) {
+	c := faultCircuit(t)
+	opts := DefaultOptions()
+	e, err := NewEngine(c, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := e.Feasible(2, opts); err != nil {
+		t.Fatalf("probe after Close failed: %v", err)
+	}
+}

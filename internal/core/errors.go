@@ -206,3 +206,14 @@ func (f *failSet) get() error {
 	defer f.mu.Unlock()
 	return f.err
 }
+
+// reset clears the set for the next probe of a pooled state. Must not be
+// called while the probe that tripped it can still run (the Engine resets
+// only states that have been checked back in, after their run joined every
+// worker).
+func (f *failSet) reset() {
+	f.mu.Lock()
+	f.err = nil
+	f.mu.Unlock()
+	f.set.Store(false)
+}

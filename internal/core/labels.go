@@ -25,9 +25,17 @@ type coverRec struct {
 	tree *decomp.Tree
 }
 
-// state carries one feasibility probe.
+// state carries one feasibility probe. States are pooled by the Engine:
+// blankState allocates the per-circuit arrays once, resetFor reinitializes
+// every per-probe field, and the circuit-invariant analysis (an) is shared
+// read-only across every probe of the engine.
 type state struct {
-	c      *netlist.Circuit
+	c    *netlist.Circuit
+	an   *analysis
+	// pool, when non-nil, is the engine's arena pool: arenaFor checks
+	// worker arenas out of it instead of creating them, and checkinState
+	// returns them when the probe's state goes back to the engine.
+	pool   *arenaPool
 	opts   Options
 	phi    int
 	labels []int
@@ -106,34 +114,67 @@ type state struct {
 
 const labelInf = int(1) << 28
 
+// newState builds a standalone probe state: a throwaway analysis, a private
+// decomposition cache and counter set, no arena pool. The engine paths use
+// checkoutState instead; this remains for the direct-probe tests.
 func newState(c *netlist.Circuit, phi int, opts Options) *state {
-	s := &state{
-		c:          c,
-		opts:       opts,
-		phi:        phi,
-		labels:     make([]int, c.NumNodes()),
-		order:      c.CombTopoOrder(),
-		sccs:       graph.StronglyConnected(c.Adj()),
-		lastL:      make([]int, c.NumNodes()),
-		decided:    make([]bool, c.NumNodes()),
-		bumps:      make([]int, c.NumNodes()),
-		nextDecomp: make([]int, c.NumNodes()),
-		conc:       &stats.Concurrency{},
-		rec:        opts.Trace,
-		workers:    opts.workerCount(),
-		recs:       make([]coverRec, c.NumNodes()),
+	s := blankState(c, analyze(c), nil)
+	s.resetFor(phi, opts)
+	s.cache = newDecompCache()
+	s.conc = &stats.Concurrency{}
+	return s
+}
+
+// blankState allocates a probe state's per-circuit arrays and wires in the
+// shared analysis and (optionally) the engine's arena pool. The state is not
+// usable until resetFor ran and a cache and counter set were attached.
+func blankState(c *netlist.Circuit, an *analysis, pool *arenaPool) *state {
+	n := c.NumNodes()
+	return &state{
+		c:           c,
+		an:          an,
+		pool:        pool,
+		labels:      make([]int, n),
+		order:       an.order,
+		sccs:        an.sccs,
+		levels:      an.levels,
+		memberOrder: an.memberOrder,
+		lastL:       make([]int, n),
+		decided:     make([]bool, n),
+		bumps:       make([]int, n),
+		nextDecomp:  make([]int, n),
+		recs:        make([]coverRec, n),
 	}
-	s.cache = newDecompCache(s.conc)
-	s.levels = s.sccs.Levels()
-	s.memberOrder = make([][]int, s.sccs.NumComps())
-	for _, id := range s.order { // comb topo order within each component
-		comp := s.sccs.Comp[id]
-		s.memberOrder[comp] = append(s.memberOrder[comp], id)
-	}
+}
+
+// resetFor reinitializes every per-probe field for a probe at phi under
+// opts, exactly as a freshly allocated state would start. It deliberately
+// resets everything a previous probe could have touched — labels, the
+// decision cache, backoff counters, cover records, the fail set — so a
+// pooled state is indistinguishable from a new one even after the previous
+// probe aborted mid-flight. The cache, counters, cancel flag and guard are
+// cleared; the caller attaches its own.
+func (s *state) resetFor(phi int, opts Options) {
+	s.opts = opts
+	s.phi = phi
+	s.rec = opts.Trace
+	s.workers = opts.workerCount()
+	s.cache = nil
+	s.conc = nil
+	s.cancel = nil
+	s.guard = nil
+	s.compDone = nil
+	s.fails.reset()
+	s.failed.Store(false)
+	s.stats = Stats{}
 	for i := range s.lastL {
 		s.lastL[i] = -labelInf
+		s.decided[i] = false
+		s.bumps[i] = 0
+		s.nextDecomp[i] = 0
+		s.recs[i] = coverRec{}
 	}
-	for _, n := range c.Nodes {
+	for _, n := range s.c.Nodes {
 		switch {
 		case n.Kind == netlist.PI:
 			s.labels[n.ID] = 0
@@ -143,7 +184,6 @@ func newState(c *netlist.Circuit, phi int, opts Options) *state {
 			s.labels[n.ID] = 1 // the paper's initial lower bound
 		}
 	}
-	return s
 }
 
 // attach shares a search-wide decomposition cache, concurrency counters and
@@ -306,6 +346,9 @@ const (
 func (s *state) safeRunComp(comp int, st *Stats, ar *arena) (out compOutcome) {
 	defer func() {
 		if r := recover(); r != nil {
+			// The panic may have interrupted the arena's scratch mid-mutation;
+			// poison it so the pool discards it instead of reusing it.
+			ar.poisoned = true
 			s.fails.fail(newInternalError(r, "labels", comp, ar.curNode))
 			out = compErrored
 		}
@@ -647,7 +690,7 @@ func (s *state) tryDecompose(id, L int, st *Stats, ar *arena) (*decomp.Tree, []R
 		}
 		effort := decomp.Effort{BDDNodes: s.opts.BDDNodeBudget, MaxBoundSets: s.opts.RothKarpBudget, Stats: &estats}
 		key := decompKey(s.opts.K, h+1, canonPrio, canon, effort)
-		entry, cached := s.cache.lookup(key)
+		entry, cached := s.cache.lookup(key, s.conc)
 		if cached && !ctr.Identity() {
 			s.conc.AddCacheNPNHit()
 		}
@@ -743,8 +786,11 @@ func (s *state) structuralRec(x *expand.Expanded, res *cut.Result, ar *arena) co
 
 // coneFunction computes the cone's Boolean function over the cut signals
 // (variable j = cut replica j) and the replica list. The variable and memo
-// tables live in the arena, indexed by replica id; only the replica list and
-// the truth tables themselves (which outlive the call) are allocated.
+// tables live in the arena, indexed by replica id, and every transient table
+// — cut-variable projections, composition intermediates — cycles through the
+// arena's truth-table pool; only the replica list and the returned root
+// function (cloned out of the pool, since callers retain it past the next
+// evaluation) are allocated.
 func (s *state) coneFunction(x *expand.Expanded, res *cut.Result, ar *arena) (*logic.TT, []Replica) {
 	m := len(res.Cut)
 	if m > logic.MaxVars {
@@ -768,10 +814,13 @@ func (s *state) coneFunction(x *expand.Expanded, res *cut.Result, ar *arena) (*l
 	}
 	var eval func(repID int) *logic.TT
 	eval = func(repID int) *logic.TT {
-		if j := varOf[repID]; j >= 0 {
-			return logic.Var(m, j)
-		}
 		if tt := memo[repID]; tt != nil {
+			return tt
+		}
+		var tt *logic.TT
+		if j := varOf[repID]; j >= 0 {
+			tt = ar.tt.Get(m).SetVar(j)
+			memo[repID] = tt
 			return tt
 		}
 		orig := s.c.Nodes[x.Nodes[repID].Orig]
@@ -783,22 +832,20 @@ func (s *state) coneFunction(x *expand.Expanded, res *cut.Result, ar *arena) (*l
 		for i, ch := range children {
 			subs[i] = eval(ch)
 		}
-		var tt *logic.TT
 		if len(subs) == 0 {
-			tt = projectConst(orig.Func, m)
+			_, v := orig.Func.IsConst()
+			tt = ar.tt.Get(m).SetConst(v)
 		} else {
-			tt = orig.Func.ComposeBool(subs)
+			tt = orig.Func.ComposeBoolPool(subs, &ar.tt)
 		}
 		memo[repID] = tt
 		return tt
 	}
-	return eval(expand.Root), reps
-}
-
-// projectConst lifts a 0-var constant function into an m-var table.
-func projectConst(f *logic.TT, m int) *logic.TT {
-	_, v := f.IsConst()
-	return logic.Const(m, v)
+	fn := eval(expand.Root).Clone()
+	for i := range memo {
+		ar.tt.Put(memo[i]) // nil-safe; fn is a clone, so the root pools too
+	}
+	return fn, reps
 }
 
 // sccIsolated reports whether no node of the component is supported from

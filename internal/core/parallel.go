@@ -5,7 +5,6 @@ import (
 	"sync/atomic"
 
 	"turbosyn/internal/faultinject"
-	"turbosyn/internal/netlist"
 )
 
 // runParallel is the dataflow-scheduled variant of run: every component of
@@ -32,36 +31,14 @@ func (s *state) runParallel() (bool, error) {
 	s.conc.SetWorkers(s.workers)
 	nc := s.sccs.NumComps()
 
-	// Per-component work summary. A component with no updatable member
-	// (PIs, constant sources) is final from initialization and completes
-	// without dispatch; trivial components are eligible for inline
-	// chaining.
-	updates := make([]int, nc) // updatable members per component
-	trivial := make([]bool, nc)
-	workCount := 0
-	for comp := 0; comp < nc; comp++ {
-		members := s.memberOrder[comp]
-		for _, id := range members {
-			n := s.c.Nodes[id]
-			if n.Kind != netlist.PI && len(n.Fanins) > 0 {
-				updates[comp]++
-			}
-		}
-		if updates[comp] > 0 {
-			workCount++
-		}
-		if len(members) == 1 {
-			id := members[0]
-			self := false
-			for _, f := range s.c.Nodes[id].Fanins {
-				if f.From == id {
-					self = true
-					break
-				}
-			}
-			trivial[comp] = !self
-		}
-	}
+	// Per-component work summary, precomputed once per circuit in analyze
+	// (it is invariant across probes and runs). A component with no
+	// updatable member (PIs, constant sources) is final from initialization
+	// and completes without dispatch; trivial components are eligible for
+	// inline chaining.
+	updates := s.an.updates // updatable members per component
+	trivial := s.an.trivial
+	workCount := s.an.workCount
 	if workCount == 0 {
 		return s.finishRun(s.checkOutputs())
 	}
@@ -84,17 +61,9 @@ func (s *state) runParallel() (bool, error) {
 	// Record what the retired level-synchronized scheduler would have cost
 	// on this condensation: one barrier wait between consecutive levels
 	// that carry schedulable work.
-	workLevels := 0
-	levelSeen := make([]bool, nc)
-	for comp := 0; comp < nc; comp++ {
-		if updates[comp] > 0 && !levelSeen[s.levels[comp]] {
-			levelSeen[s.levels[comp]] = true
-			workLevels++
-		}
-	}
-	s.conc.AddBarriersEliminated(workLevels - 1)
+	s.conc.AddBarriersEliminated(s.an.workLevels - 1)
 
-	indeg := s.sccs.InDegrees()
+	indeg := s.an.indeg
 	pending := make([]atomic.Int32, nc)
 	for comp, deg := range indeg {
 		pending[comp].Store(int32(deg))
@@ -212,6 +181,7 @@ func (s *state) runParallel() (bool, error) {
 			// a send-on-closed panic and lands in its own recover here.
 			defer func() {
 				if r := recover(); r != nil {
+					ar.poisoned = true
 					s.fails.fail(newInternalError(r, "scheduler", -1, -1))
 					aborted.Store(true)
 					closeReady()

@@ -184,7 +184,7 @@ func TestSchedulerStressRandom(t *testing.T) {
 			// full Decompose inputs, so sharing it across configurations
 			// cannot change any result.
 			conc := &stats.Concurrency{}
-			cache := newDecompCache(conc)
+			cache := newDecompCache()
 			probe := func(phi, workers, grain int) (bool, []int) {
 				opts := base
 				opts.Workers = workers
@@ -231,7 +231,7 @@ func TestSchedulerStressRandom(t *testing.T) {
 // lookup exactly once.
 func TestDecompCacheConcurrentStress(t *testing.T) {
 	conc := &stats.Concurrency{}
-	cache := newDecompCache(conc)
+	cache := newDecompCache()
 
 	type entry struct {
 		key string
@@ -265,7 +265,7 @@ func TestDecompCacheConcurrentStress(t *testing.T) {
 			defer wg.Done()
 			for r := 0; r < rounds; r++ {
 				e := entries[(g*rounds+r)%len(entries)]
-				if got, ok := cache.lookup(e.key); ok {
+				if got, ok := cache.lookup(e.key, conc); ok {
 					if got.tree != nil && len(got.tree.Nodes) == 0 {
 						t.Errorf("key %q: corrupt cached tree", e.key)
 						return
@@ -279,7 +279,7 @@ func TestDecompCacheConcurrentStress(t *testing.T) {
 	wg.Wait()
 
 	for _, e := range entries {
-		if _, ok := cache.lookup(e.key); !ok {
+		if _, ok := cache.lookup(e.key, conc); !ok {
 			t.Errorf("key %q missing after stress", e.key)
 		}
 	}

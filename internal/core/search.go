@@ -7,9 +7,14 @@ import (
 
 	"turbosyn/internal/netlist"
 	"turbosyn/internal/obs"
-	"turbosyn/internal/retime"
 	"turbosyn/internal/stats"
 )
+
+// The package-level entry points are thin wrappers over a throwaway Engine:
+// the engine owns the circuit analysis, the decomposition cache (with the
+// persisted log, when configured) and the arena pool for exactly one call,
+// and its Close flushes the log on every exit path. Results are bit-identical
+// to the pooled path — the engine methods are the same code.
 
 // Feasible decides Problem 2: does a mapping with clock period (or, when
 // opts.Pipelined, MDR ratio) at most phi exist? It returns the probe's work
@@ -23,42 +28,12 @@ func Feasible(c *netlist.Circuit, phi int, opts Options) (bool, Stats, error) {
 // returns a *CancelError wrapping the context's error, with the partial
 // work statistics attached.
 func FeasibleContext(ctx context.Context, c *netlist.Circuit, phi int, opts Options) (bool, Stats, error) {
-	opts = opts.withDefaults()
-	if err := validateInput(c, opts); err != nil {
+	e, err := NewEngine(c, opts)
+	if err != nil {
 		return false, Stats{}, err
 	}
-	if phi < 1 {
-		return false, Stats{}, nil
-	}
-	guard := startGuard(ctx)
-	defer guard.release()
-	s := newState(c, phi, opts)
-	s.guard = guard
-	s.cache.openLog(opts)
-	defer s.cache.closeLog(opts)
-	opts.Progress.SetSampler(liveCounters(s.conc, opts.Trace))
-	var ring *obs.Ring
-	var t0 int64
-	if opts.Trace != nil {
-		ring = opts.Trace.NewRing("probe")
-		t0 = ring.Now()
-	}
-	s.conc.AddProbeLaunched()
-	ok, err := s.run()
-	if ring != nil {
-		ring.Span(obs.OpProbe, t0, int64(phi), probeVerdict(ok, err))
-	}
-	if opts.Logger != nil {
-		opts.Logger.Debug("probe", "phi", phi, "feasible", ok,
-			"iterations", s.stats.Iterations, "cutChecks", s.stats.CutChecks, "err", err)
-	}
-	st := s.stats
-	st.fold(s.conc.Snapshot())
-	foldTrace(&st, opts.Trace)
-	if err != nil {
-		return false, st, wrapAbort(err, "probe", -1, st)
-	}
-	return ok, st, nil
+	defer e.Close()
+	return e.FeasibleContext(ctx, phi, opts)
 }
 
 // MapAtRatio computes labels and a mapped LUT network for a specific
@@ -69,71 +44,12 @@ func MapAtRatio(c *netlist.Circuit, phi int, opts Options) (*Result, error) {
 
 // MapAtRatioContext is MapAtRatio under a context (see FeasibleContext).
 func MapAtRatioContext(ctx context.Context, c *netlist.Circuit, phi int, opts Options) (*Result, error) {
-	opts = opts.withDefaults()
-	if err := validateInput(c, opts); err != nil {
+	e, err := NewEngine(c, opts)
+	if err != nil {
 		return nil, err
 	}
-	guard := startGuard(ctx)
-	defer guard.release()
-	conc := &stats.Concurrency{}
-	cache := newDecompCache(conc)
-	cache.openLog(opts)
-	defer cache.closeLog(opts)
-	opts.Progress.SetSampler(liveCounters(conc, opts.Trace))
-	opts.Progress.SetPhase("map")
-	var ring *obs.Ring
-	var t0 int64
-	if opts.Trace != nil {
-		ring = opts.Trace.NewRing("map")
-		t0 = ring.Now()
-	}
-	res, st, err := mapAtRatio(c, phi, opts, cache, conc, guard)
-	if ring != nil {
-		ring.Span(obs.OpMap, t0, int64(phi), probeVerdict(err == nil, err))
-	}
-	if err != nil {
-		st.fold(conc.Snapshot())
-		foldTrace(&st, opts.Trace)
-		return nil, wrapAbort(err, "map", -1, st)
-	}
-	res.Stats.fold(conc.Snapshot())
-	foldTrace(&res.Stats, opts.Trace)
-	return res, nil
-}
-
-// mapAtRatio is MapAtRatio over a search-wide cache, counter set and
-// context guard; the caller folds the counters into the final Stats exactly
-// once. The returned Stats carry the partial work even when err != nil.
-func mapAtRatio(c *netlist.Circuit, phi int, opts Options, cache *decompCache, conc *stats.Concurrency, guard *runGuard) (*Result, Stats, error) {
-	s := newState(c, phi, opts)
-	s.attach(cache, conc, nil)
-	s.guard = guard
-	conc.AddProbeLaunched()
-	ok, err := s.run()
-	if err != nil {
-		return nil, s.stats, err
-	}
-	if !ok {
-		return nil, s.stats, fmt.Errorf("core: target %d is infeasible for %s", phi, c.Name)
-	}
-	if opts.Relax && opts.Decompose {
-		if err := s.relaxForArea(); err != nil {
-			return nil, s.stats, err
-		}
-	}
-	m, origOf, err := s.generate()
-	if err != nil {
-		return nil, s.stats, err
-	}
-	return &Result{
-		Phi:    phi,
-		Labels: s.labels,
-		Mapped: m,
-		LUTs:   m.NumGates(),
-		OrigOf: origOf,
-		Stats:  s.stats,
-		Opts:   opts,
-	}, s.stats, nil
+	defer e.Close()
+	return e.MapAtRatioContext(ctx, phi, opts)
 }
 
 // Minimize finds the minimum feasible phi by binary search and returns the
@@ -153,71 +69,12 @@ func Minimize(c *netlist.Circuit, opts Options) (*Result, error) {
 // observed it, the best feasible phi proven so far (-1 when none) and the
 // partial work statistics.
 func MinimizeContext(ctx context.Context, c *netlist.Circuit, opts Options) (*Result, error) {
-	opts = opts.withDefaults()
-	if err := validateInput(c, opts); err != nil {
+	e, err := NewEngine(c, opts)
+	if err != nil {
 		return nil, err
 	}
-	guard := startGuard(ctx)
-	defer guard.release()
-	// One decomposition cache and one counter set span the whole search —
-	// every probe, speculative or not, and the final mapping pass.
-	conc := &stats.Concurrency{}
-	cache := newDecompCache(conc)
-	cache.openLog(opts)
-	defer cache.closeLog(opts)
-	opts.Progress.SetSampler(liveCounters(conc, opts.Trace))
-	var total Stats
-	fail := func(err error, phase string, best int) (*Result, error) {
-		if opts.Logger != nil {
-			opts.Logger.Warn("search aborted", "phase", phase, "bestPhi", best, "err", err)
-		}
-		total.fold(conc.Snapshot())
-		foldTrace(&total, opts.Trace)
-		return nil, wrapAbort(err, phase, best, total)
-	}
-	ub := retime.Period(c)
-	if ub < 1 {
-		ub = 1
-	}
-	if opts.Decompose && opts.Pipelined {
-		// Paper's UB: TurboMap's optimum seeds TurboSYN's search.
-		opts.Progress.SetPhase("turbomap-ub")
-		tmOpts := opts
-		tmOpts.Decompose = false
-		tm, err := minimizeSearch(c, ub, tmOpts, &total, cache, conc, guard)
-		if err != nil {
-			return fail(err, "turbomap-ub", tm)
-		}
-		if opts.Logger != nil {
-			opts.Logger.Debug("turbomap upper bound", "ub", tm, "retimedUB", ub)
-		}
-		ub = tm
-	}
-	opts.Progress.SetPhase("search")
-	best, err := minimizeSearch(c, ub, opts, &total, cache, conc, guard)
-	if err != nil {
-		return fail(err, "search", best)
-	}
-	opts.Progress.SetPhase("map")
-	var mapRing *obs.Ring
-	var t0 int64
-	if opts.Trace != nil {
-		mapRing = opts.Trace.NewRing("map")
-		t0 = mapRing.Now()
-	}
-	res, st, err := mapAtRatio(c, best, opts, cache, conc, guard)
-	if mapRing != nil {
-		mapRing.Span(obs.OpMap, t0, int64(best), probeVerdict(err == nil, err))
-	}
-	if err != nil {
-		total.Add(st)
-		return fail(err, "map", best)
-	}
-	total.Add(res.Stats)
-	res.Stats = total
-	res.Stats.fold(conc.Snapshot())
-	foldTrace(&res.Stats, opts.Trace)
-	return res, nil
+	defer e.Close()
+	return e.MinimizeContext(ctx, opts)
 }
 
 // warmUseful reports whether labels converged at seedPhi should seed a
@@ -239,14 +96,17 @@ func warmUseful(phi, seedPhi int) bool {
 // search; speculative probes count only through the shared conc counters.
 // On an aborting error the returned phi is the best feasible one proven
 // before the abort (-1 when none), so the caller can report partial
-// progress.
-func minimizeSearch(cc *netlist.Circuit, ub int, opts Options, total *Stats, cache *decompCache, conc *stats.Concurrency, guard *runGuard) (int, error) {
+// progress. Every probe checks its state (and through it, worker arenas)
+// out of the engine; newState never runs on this path.
+func (e *Engine) minimizeSearch(ub int, opts Options, total *Stats, conc *stats.Concurrency, guard *runGuard) (int, error) {
 	workers := opts.workerCount()
 	if workers > 1 && opts.IterBudget <= 0 && ub > 2 {
-		return speculativeSearch(cc, ub, opts, total, cache, conc, guard, workers)
+		return e.speculativeSearch(ub, opts, total, conc, guard, workers)
 	}
 	// Every later probe targets a phi below the best feasible one found so
 	// far, so the best probe's converged labels always qualify as a seed.
+	// The warm store owns its buffer: the probe's label array returns to the
+	// engine with the state and is overwritten by the next checkout.
 	warm := !opts.NoWarmStart && opts.IterBudget <= 0
 	var warmLabels []int
 	warmPhi := 0
@@ -258,8 +118,8 @@ func minimizeSearch(cc *netlist.Circuit, ub int, opts Options, total *Stats, cac
 	best := -1
 	for lo <= hi {
 		mid := (lo + hi) / 2
-		s := newState(cc, mid, opts)
-		s.attach(cache, conc, nil)
+		s := e.checkoutState(mid, opts)
+		s.attach(e.cache, conc, nil)
 		s.guard = guard
 		if warm && warmLabels != nil && warmUseful(mid, warmPhi) {
 			s.seedLabels(warmLabels)
@@ -279,20 +139,23 @@ func minimizeSearch(cc *netlist.Circuit, ub int, opts Options, total *Stats, cac
 		}
 		total.Add(s.stats)
 		if err != nil {
+			e.checkinState(s)
 			return best, err
 		}
 		if ok {
 			best = mid
 			opts.Progress.SetBestPhi(mid)
-			warmLabels, warmPhi = s.labels, mid
+			warmLabels = append(warmLabels[:0], s.labels...)
+			warmPhi = mid
 			hi = mid - 1
 		} else {
 			lo = mid + 1
 		}
+		e.checkinState(s)
 	}
 	if best < 0 {
 		return -1, fmt.Errorf("core: no feasible target up to %d for %s (is the upper bound wrong?)",
-			ub, cc.Name)
+			ub, e.c.Name)
 	}
 	return best, nil
 }
@@ -321,13 +184,18 @@ type probe struct {
 // sweeps). Verdicts are deterministic per phi, so the search visits exactly
 // the phis the sequential search would and returns the same minimum.
 //
+// Every probe goroutine checks a state out of the engine and returns it at
+// exit: concurrent probes simply hold distinct pooled states, and a
+// cancelled lookahead's state (arenas included) is reusable the moment it is
+// checked back in — only fatal aborts poison arenas.
+//
 // Fault containment: every probe goroutine carries a top-level recover (a
 // panic that escapes the label engine's own boundary becomes an
 // InternalError instead of killing the process), and the wind-down joins
 // every probe ever launched — cancelled lookaheads included — before
 // returning, so no goroutine outlives the search and no probe's error is
 // dropped on the floor.
-func speculativeSearch(cc *netlist.Circuit, ub int, opts Options, total *Stats, cache *decompCache, conc *stats.Concurrency, guard *runGuard, workers int) (best int, err error) {
+func (e *Engine) speculativeSearch(ub int, opts Options, total *Stats, conc *stats.Concurrency, guard *runGuard, workers int) (best int, err error) {
 	// Split the pool between concurrent probes: the midpoint probe is the
 	// one blocking progress, the two lookahead probes ride along. Inner
 	// worker counts never change results, only scheduling.
@@ -373,7 +241,8 @@ func speculativeSearch(cc *netlist.Circuit, ub int, opts Options, total *Stats, 
 	// warmUseful distance gate as the sequential search). The store is read
 	// and written only on this goroutine (launches and accepts both happen
 	// in the search loop), and a stored slice is never mutated again — the
-	// probe that produced it has finished and seeding copies it.
+	// probe copied it out of its state before checkin, and seeding copies it
+	// into the new probe's state.
 	warm := !opts.NoWarmStart
 	var warmLabels []int
 	warmPhi := 0
@@ -397,20 +266,28 @@ func speculativeSearch(cc *netlist.Circuit, ub int, opts Options, total *Stats, 
 		}
 		go func() {
 			defer close(p.done)
+			s := e.checkoutState(phi, popts)
+			defer e.checkinState(s)
 			defer func() {
 				if r := recover(); r != nil {
 					p.err = newInternalError(r, "probe", -1, -1)
+					// Record the failure on the state so checkin poisons its
+					// arenas: the panic escaped the per-component boundary, so
+					// nothing about the probe's scratch can be trusted.
+					s.fails.fail(p.err)
 				}
 			}()
-			s := newState(cc, phi, popts)
-			s.attach(cache, conc, &p.cancel)
+			s.attach(e.cache, conc, &p.cancel)
 			s.guard = guard
 			if seed != nil {
 				s.seedLabels(seed)
 			}
 			p.ok, p.err = s.run()
 			p.stats = s.stats
-			p.labels = s.labels
+			if p.ok {
+				// Copy out before the deferred checkin recycles the state.
+				p.labels = append([]int(nil), s.labels...)
+			}
 		}()
 	}
 	drop := func(p *probe, cancelled bool) {
@@ -479,7 +356,7 @@ func speculativeSearch(cc *netlist.Circuit, ub int, opts Options, total *Stats, 
 	}
 	if best < 0 {
 		return -1, fmt.Errorf("core: no feasible target up to %d for %s (is the upper bound wrong?)",
-			ub, cc.Name)
+			ub, e.c.Name)
 	}
 	return best, nil
 }

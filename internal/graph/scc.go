@@ -1,5 +1,7 @@
 package graph
 
+import "sort"
+
 // SCCs holds the strongly connected components of a graph together with the
 // condensation (the DAG of components).
 type SCCs struct {
@@ -129,22 +131,35 @@ func StronglyConnected(g Adjacency) *SCCs {
 	for i := 0; i < nc; i++ {
 		s.Order[i] = nc - 1 - i
 	}
-	// Condensation with deduplicated edges.
+	// Condensation with deduplicated edges, by sort-and-compact: collect
+	// every cross-component pair, sort, and emit each distinct pair once.
+	// This runs on every engine construction (and used to run on every
+	// feasibility probe), and on dense netlists the former map-based dedup
+	// paid one hash insert per edge; sorting an int-pair slice touches the
+	// same data cache-linearly and allocates one slice instead of a table.
+	// DAG[c] comes out sorted by successor id — a valid adjacency order like
+	// any other; consumers treat DAG edge order as scheduling input only.
 	s.DAG = NewSlice(nc)
-	seen := make(map[[2]int]bool)
+	edges := make([][2]int, 0, n)
 	for u := 0; u < n; u++ {
 		cu := comp[u]
 		g.Succ(u, func(v int) {
-			cv := comp[v]
-			if cu == cv {
-				return
-			}
-			key := [2]int{cu, cv}
-			if !seen[key] {
-				seen[key] = true
-				s.DAG.AddEdge(cu, cv)
+			if cv := comp[v]; cv != cu {
+				edges = append(edges, [2]int{cu, cv})
 			}
 		})
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i][0] != edges[j][0] {
+			return edges[i][0] < edges[j][0]
+		}
+		return edges[i][1] < edges[j][1]
+	})
+	for i, e := range edges {
+		if i > 0 && edges[i-1] == e {
+			continue
+		}
+		s.DAG.AddEdge(e[0], e[1])
 	}
 	return s
 }

@@ -10,6 +10,15 @@ package logic
 // O(2^result * support(t)) of Compose — the difference matters when the
 // result ranges over many variables (cone functions over wide cuts).
 func (t *TT) ComposeBool(subs []*TT) *TT {
+	return t.ComposeBoolPool(subs, nil)
+}
+
+// ComposeBoolPool is ComposeBool with every transient table — Shannon
+// cofactors, negated substitutions, the per-level partial results — drawn
+// from and returned to p. The result itself is also pool-owned: the caller
+// must Put it back (or Clone it out) when done. A nil pool reproduces
+// ComposeBool exactly, with the result owned by the garbage collector.
+func (t *TT) ComposeBoolPool(subs []*TT, p *TTPool) *TT {
 	if len(subs) != t.nvar {
 		panic("logic: ComposeBool: need one substitution per variable")
 	}
@@ -26,7 +35,7 @@ func (t *TT) ComposeBool(subs []*TT) *TT {
 	var rec func(f *TT) *TT
 	rec = func(f *TT) *TT {
 		if c, v := f.IsConst(); c {
-			return Const(nv, v)
+			return p.Get(nv).SetConst(v)
 		}
 		j := -1
 		for i := 0; i < f.nvar; i++ {
@@ -35,14 +44,29 @@ func (t *TT) ComposeBool(subs []*TT) *TT {
 				break
 			}
 		}
-		r0 := rec(f.Cofactor(j, false))
-		r1 := rec(f.Cofactor(j, true))
+		// One scratch table serves both cofactors: rec is done with it by
+		// the time it returns.
+		f0 := p.Get(f.nvar).CopyFrom(f)
+		f0.CofactorInPlace(j, false)
+		r0 := rec(f0)
+		f0.CopyFrom(f)
+		f0.CofactorInPlace(j, true)
+		r1 := rec(f0)
+		p.Put(f0)
 		if negs[j] == nil {
-			negs[j] = NewTT(nv).Not(subs[j])
+			negs[j] = p.Get(nv).Not(subs[j])
 		}
-		lo := NewTT(nv).And(negs[j], r0)
-		hi := NewTT(nv).And(subs[j], r1)
-		return lo.Or(lo, hi)
+		lo := p.Get(nv).And(negs[j], r0)
+		hi := p.Get(nv).And(subs[j], r1)
+		lo.Or(lo, hi)
+		p.Put(hi)
+		p.Put(r0)
+		p.Put(r1)
+		return lo
 	}
-	return rec(t)
+	out := rec(t)
+	for _, n := range negs {
+		p.Put(n)
+	}
+	return out
 }

@@ -298,7 +298,7 @@ func Synthesize(c *Circuit, o Options) (*Result, error) {
 // under a second even on large circuits — and returns a *CancelError that
 // wraps the context's error and carries the aborting phase, the best
 // feasible phi proven so far and the partial work statistics.
-func SynthesizeContext(ctx context.Context, c *Circuit, o Options) (out *Result, err error) {
+func SynthesizeContext(ctx context.Context, c *Circuit, o Options) (*Result, error) {
 	o = o.fill()
 	if err := o.validate(); err != nil {
 		return nil, err
@@ -306,6 +306,56 @@ func SynthesizeContext(ctx context.Context, c *Circuit, o Options) (out *Result,
 	if err := c.Check(); err != nil {
 		return nil, err
 	}
+	work, err := kBoundFor(c, o.K)
+	if err != nil {
+		return nil, err
+	}
+	return synthesizeOn(ctx, nil, c, work, o)
+}
+
+// kBoundFor returns c itself when already K-bounded, or the structural
+// decomposition bounding every gate fanin by k.
+func kBoundFor(c *Circuit, k int) (*Circuit, error) {
+	if c.IsKBounded(k) {
+		return c, nil
+	}
+	return decomp.KBound(c, k)
+}
+
+// coreOptions lowers the public Options into the core engine's option set.
+// pg and logger are the run-scoped observability sinks (the logger already
+// carries the run id); both may be nil.
+func (o Options) coreOptions(pg *obs.Progress, logger *slog.Logger) core.Options {
+	return core.Options{
+		K:               o.K,
+		Cmax:            o.Cmax,
+		MaxH:            o.MaxH,
+		LowDepth:        o.LowDepth,
+		Decompose:       o.Algorithm == TurboSYN,
+		PLD:             !o.NoPLD,
+		Pipelined:       o.Objective == MinRatio,
+		Relax:           !o.NoRelax,
+		Workers:         o.Workers,
+		NoWarmStart:     o.NoWarmStart,
+		TaskGrain:       o.TaskGrain,
+		CacheDir:        o.CacheDir,
+		BDDNodeBudget:   o.BDDNodeBudget,
+		RothKarpBudget:  o.RothKarpBudget,
+		ArenaByteBudget: o.ArenaByteBudget,
+		Strict:          o.Strict,
+		Trace:           o.Trace,
+		Progress:        pg,
+		Logger:          logger,
+	}
+}
+
+// synthesizeOn runs the synthesis pipeline — observability setup, search,
+// packing, realization — on the already K-bounded work derived from the
+// caller's circuit c. When eng is non-nil the search runs on that engine,
+// reusing its circuit analysis, decomposition cache and arena pool across
+// calls; when nil, the package-level core entry points build a throwaway
+// engine for this one run. Options must already be filled and validated.
+func synthesizeOn(ctx context.Context, eng *core.Engine, c, work *Circuit, o Options) (out *Result, err error) {
 	// Observability setup: one run id shared by logs, trace and progress; a
 	// reporter goroutine that is always joined — with a final Done snapshot
 	// delivered exactly once — before this function returns, on every path.
@@ -333,14 +383,6 @@ func SynthesizeContext(ctx context.Context, c *Circuit, o Options) (out *Result,
 		logger.Info("synthesis start", "algorithm", o.Algorithm.String(),
 			"k", o.K, "workers", o.Workers, "nodes", c.NumNodes(), "gates", c.NumGates())
 	}
-	work := c
-	if !work.IsKBounded(o.K) {
-		var kerr error
-		work, kerr = decomp.KBound(work, o.K)
-		if kerr != nil {
-			return nil, kerr
-		}
-	}
 	var res *core.Result
 	switch o.Algorithm {
 	case FlowSYNS:
@@ -350,28 +392,12 @@ func SynthesizeContext(ctx context.Context, c *Circuit, o Options) (out *Result,
 		pg.SetPhase("flowsyns")
 		res, err = mapper.FlowSYNSContext(ctx, work, o.K)
 	default:
-		opts := core.Options{
-			K:               o.K,
-			Cmax:            o.Cmax,
-			MaxH:            o.MaxH,
-			LowDepth:        o.LowDepth,
-			Decompose:       o.Algorithm == TurboSYN,
-			PLD:             !o.NoPLD,
-			Pipelined:       o.Objective == MinRatio,
-			Relax:           !o.NoRelax,
-			Workers:         o.Workers,
-			NoWarmStart:     o.NoWarmStart,
-			TaskGrain:       o.TaskGrain,
-			CacheDir:        o.CacheDir,
-			BDDNodeBudget:   o.BDDNodeBudget,
-			RothKarpBudget:  o.RothKarpBudget,
-			ArenaByteBudget: o.ArenaByteBudget,
-			Strict:          o.Strict,
-			Trace:           o.Trace,
-			Progress:        pg,
-			Logger:          logger,
+		opts := o.coreOptions(pg, logger)
+		if eng != nil {
+			res, err = eng.MinimizeContext(ctx, opts)
+		} else {
+			res, err = core.MinimizeContext(ctx, work, opts)
 		}
-		res, err = core.MinimizeContext(ctx, work, opts)
 	}
 	if err != nil {
 		if logger != nil {
@@ -486,32 +512,11 @@ func FeasibleContext(ctx context.Context, c *Circuit, phi int, o Options) (bool,
 	if err := o.validate(); err != nil {
 		return false, core.Stats{}, err
 	}
-	work := c
-	if !work.IsKBounded(o.K) {
-		var err error
-		work, err = decomp.KBound(work, o.K)
-		if err != nil {
-			return false, core.Stats{}, err
-		}
+	work, err := kBoundFor(c, o.K)
+	if err != nil {
+		return false, core.Stats{}, err
 	}
-	return core.FeasibleContext(ctx, work, phi, core.Options{
-		K:               o.K,
-		Cmax:            o.Cmax,
-		MaxH:            o.MaxH,
-		LowDepth:        o.LowDepth,
-		Decompose:       o.Algorithm == TurboSYN,
-		PLD:             !o.NoPLD,
-		Pipelined:       o.Objective == MinRatio,
-		Workers:         o.Workers,
-		TaskGrain:       o.TaskGrain,
-		CacheDir:        o.CacheDir,
-		BDDNodeBudget:   o.BDDNodeBudget,
-		RothKarpBudget:  o.RothKarpBudget,
-		ArenaByteBudget: o.ArenaByteBudget,
-		Strict:          o.Strict,
-		Trace:           o.Trace,
-		Logger:          o.Logger,
-	})
+	return core.FeasibleContext(ctx, work, phi, o.coreOptions(nil, o.Logger))
 }
 
 // ClockPeriod returns the clock period of a circuit as-is (unit delay per
