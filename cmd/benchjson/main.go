@@ -16,6 +16,11 @@
 // allocates is always a regression under the allocs gate (the ratio is
 // reported as +Inf), which is how the zero-allocation warm-sweep invariant
 // is enforced at the benchmark level.
+//
+// Names present in only one document are informational by default ("only in
+// new" is how a freshly added benchmark rides through the gate until its
+// baseline is committed). -require-old makes new-only names fatal, for gates
+// whose baseline is supposed to already cover every benchmark in the run.
 package main
 
 import (
@@ -163,12 +168,20 @@ func Delta(oldDoc, newDoc *Doc) []DeltaRow {
 
 // FormatDelta renders the comparison table and returns the number of rows
 // whose ratio exceeds its threshold (0 disables a gate). Regressing rows
-// are marked REGRESSED.
-func FormatDelta(w io.Writer, rows []DeltaRow, maxTime, maxBytes, maxAllocs float64) (regressions int) {
+// are marked REGRESSED. Unshared names are informational, except that
+// requireOld makes a name with no old baseline ("only in new") count as a
+// regression — an old-only name stays informational either way, since a
+// deliberately removed benchmark has nothing left to gate.
+func FormatDelta(w io.Writer, rows []DeltaRow, maxTime, maxBytes, maxAllocs float64, requireOld bool) (regressions int) {
 	fmt.Fprintf(w, "%-44s %13s %12s %15s\n", "benchmark", "ns/op new/old", "B/op new/old", "allocs new/old")
 	for _, r := range rows {
 		if r.OnlyIn != "" {
-			fmt.Fprintf(w, "%-44s only in %s\n", r.Name, r.OnlyIn)
+			mark := ""
+			if requireOld && r.OnlyIn == "new" {
+				mark = "  REGRESSED (no baseline)"
+				regressions++
+			}
+			fmt.Fprintf(w, "%-44s only in %s%s\n", r.Name, r.OnlyIn, mark)
 			continue
 		}
 		bad := (maxTime > 0 && r.TimeRatio > maxTime) ||
@@ -202,6 +215,7 @@ func main() {
 	maxTime := flag.Float64("max-time-ratio", 3.0, "delta mode: fail when ns/op grows beyond this new/old ratio (0 disables)")
 	maxBytes := flag.Float64("max-bytes-ratio", 1.5, "delta mode: fail when B/op grows beyond this new/old ratio (0 disables)")
 	maxAllocs := flag.Float64("max-allocs-ratio", 1.5, "delta mode: fail when allocs/op grows beyond this new/old ratio (0 disables; 0 allocs growing to any is always a failure)")
+	requireOld := flag.Bool("require-old", false, "delta mode: fail when a benchmark in the new document has no old baseline (default: informational)")
 	flag.Parse()
 
 	if *delta {
@@ -216,7 +230,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		if n := FormatDelta(os.Stdout, Delta(oldDoc, newDoc), *maxTime, *maxBytes, *maxAllocs); n > 0 {
+		if n := FormatDelta(os.Stdout, Delta(oldDoc, newDoc), *maxTime, *maxBytes, *maxAllocs, *requireOld); n > 0 {
 			fatal(fmt.Errorf("%d benchmark(s) regressed beyond thresholds (ns/op > %gx, B/op > %gx or allocs/op > %gx)",
 				n, *maxTime, *maxBytes, *maxAllocs))
 		}

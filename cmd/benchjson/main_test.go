@@ -93,7 +93,7 @@ func TestDeltaMissingMetricIsNotGated(t *testing.T) {
 		t.Fatalf("missing metrics must give zero ratios, got %+v", rows[0])
 	}
 	var buf strings.Builder
-	if n := FormatDelta(&buf, rows, 1.1, 1.1, 1.1); n != 0 {
+	if n := FormatDelta(&buf, rows, 1.1, 1.1, 1.1, false); n != 0 {
 		t.Fatalf("ungated row counted as regression:\n%s", buf.String())
 	}
 }
@@ -127,11 +127,11 @@ func TestDeltaAllocsRatio(t *testing.T) {
 	}
 	// At the default 1.5x both the doubling and the 0 -> 1 jump trip.
 	var buf strings.Builder
-	if n := FormatDelta(&buf, rows, 0, 0, 1.5); n != 2 {
+	if n := FormatDelta(&buf, rows, 0, 0, 1.5, false); n != 2 {
 		t.Fatalf("allocs gate at 1.5x flagged %d rows, want 2:\n%s", n, buf.String())
 	}
 	// The 0 -> 1 jump must trip any positive threshold, however generous.
-	if n := FormatDelta(&strings.Builder{}, rows, 0, 0, 1000); n != 1 {
+	if n := FormatDelta(&strings.Builder{}, rows, 0, 0, 1000, false); n != 1 {
 		t.Fatalf("allocs gate at 1000x flagged %d rows, want only the 0->1 jump", n)
 	}
 }
@@ -144,7 +144,7 @@ func TestFormatDeltaFlagsRegressions(t *testing.T) {
 		{Name: "New", OnlyIn: "new"},
 	}
 	var buf strings.Builder
-	n := FormatDelta(&buf, rows, 3.0, 1.5, 1.5)
+	n := FormatDelta(&buf, rows, 3.0, 1.5, 1.5, false)
 	if n != 2 {
 		t.Fatalf("regressions = %d, want 2:\n%s", n, buf.String())
 	}
@@ -159,7 +159,33 @@ func TestFormatDeltaFlagsRegressions(t *testing.T) {
 		t.Fatalf("new-only benchmark not reported:\n%s", out)
 	}
 	// Disabled gates (0) must never fire.
-	if n := FormatDelta(&strings.Builder{}, rows, 0, 0, 0); n != 0 {
+	if n := FormatDelta(&strings.Builder{}, rows, 0, 0, 0, false); n != 0 {
 		t.Fatalf("disabled thresholds still flagged %d rows", n)
+	}
+}
+
+func TestFormatDeltaRequireOld(t *testing.T) {
+	rows := []DeltaRow{
+		{Name: "Shared", TimeRatio: 1.0, BytesRatio: 1.0, AllocsRatio: 1.0},
+		{Name: "Fresh", OnlyIn: "new"},
+		{Name: "Gone", OnlyIn: "old"},
+	}
+	// Default: unshared names are informational.
+	var buf strings.Builder
+	if n := FormatDelta(&buf, rows, 3.0, 1.5, 1.5, false); n != 0 {
+		t.Fatalf("informational new-only row counted as regression:\n%s", buf.String())
+	}
+	// -require-old: a new benchmark with no baseline is fatal; a removed
+	// benchmark (old-only) stays informational.
+	buf.Reset()
+	if n := FormatDelta(&buf, rows, 3.0, 1.5, 1.5, true); n != 1 {
+		t.Fatalf("require-old flagged %d rows, want 1:\n%s", n, buf.String())
+	}
+	out := buf.String()
+	if !strings.Contains(out, "Fresh") || !strings.Contains(out, "no baseline") {
+		t.Fatalf("missing-baseline row not marked:\n%s", out)
+	}
+	if strings.Contains(out, "Gone") && strings.Contains(strings.Split(out, "Gone")[1], "REGRESSED") {
+		t.Fatalf("old-only row must stay informational:\n%s", out)
 	}
 }

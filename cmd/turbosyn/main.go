@@ -43,6 +43,7 @@ func main() {
 		raw        = flag.Bool("mapped", false, "emit the mapped network before retiming instead of the realized one")
 		noPLD      = flag.Bool("nopld", false, "disable positive loop detection (n^2 stopping rule)")
 		noWarm     = flag.Bool("nowarm", false, "disable warm-started search probes (cold binary search)")
+		noWork     = flag.Bool("noworklist", false, "disable the dirty-set worklist (full-membership label sweeps; results are bit-identical)")
 		workers    = flag.Int("j", 0, "worker pool size (0 = all CPUs, 1 = sequential); results are identical for every setting")
 		timeout    = flag.Duration("timeout", 0, "abort synthesis after this duration (0 = no limit); partial progress is reported")
 		strict     = flag.Bool("strict", false, "treat resource-budget exhaustion as an error instead of degrading gracefully")
@@ -87,8 +88,9 @@ func main() {
 	}
 
 	opts := turbosyn.Options{
-		K: *k, NoPack: *noPack, NoPLD: *noPLD, NoWarmStart: *noWarm, Workers: *workers,
-		Strict: *strict, BDDNodeBudget: *bddBudget, RothKarpBudget: *rkBudget,
+		K: *k, NoPack: *noPack, NoPLD: *noPLD, NoWarmStart: *noWarm, NoWorklist: *noWork,
+		Workers: *workers,
+		Strict:  *strict, BDDNodeBudget: *bddBudget, RothKarpBudget: *rkBudget,
 		CacheDir: *cacheDir,
 	}
 	switch *alg {
@@ -181,6 +183,16 @@ func main() {
 		totalRuns int
 		totalLUTs int
 		totalCPU  time.Duration
+		// Work-avoidance and memory aggregates across every file and -repeat
+		// run: sweep visit/skip sums, worklist and arena high-water marks, and
+		// the engines' arena-pool checkout traffic.
+		totalVisits   int
+		totalSkips    int
+		peakWorklist  int
+		peakArena     int
+		totalReuses   int
+		totalCreates  int
+		totalDiscards int
 	)
 	for _, name := range files {
 		var in io.Reader = os.Stdin
@@ -211,12 +223,23 @@ func main() {
 			}
 		}
 		var res *turbosyn.Result
+		var fileVisits, fileSkips, fileWorklist, fileArena int
 		start := time.Now()
 		for r := 0; r < *repeat; r++ {
 			if eng != nil {
 				res, err = eng.SynthesizeContext(ctx)
 			} else {
 				res, err = turbosyn.SynthesizeContext(ctx, c, opts)
+			}
+			if err == nil {
+				fileVisits += res.Stats.SweepNodeVisits
+				fileSkips += res.Stats.DirtySkips
+				if res.Stats.WorklistPeak > fileWorklist {
+					fileWorklist = res.Stats.WorklistPeak
+				}
+				if res.Stats.ArenaPeakBytes > fileArena {
+					fileArena = res.Stats.ArenaPeakBytes
+				}
 			}
 			if err != nil {
 				if eng != nil {
@@ -238,12 +261,25 @@ func main() {
 			}
 		}
 		elapsed := time.Since(start)
+		var pool turbosyn.PoolStats
 		if eng != nil {
+			pool = eng.PoolStats()
 			eng.Close()
 		}
 		totalRuns += *repeat
 		totalLUTs += res.LUTs
 		totalCPU += elapsed
+		totalVisits += fileVisits
+		totalSkips += fileSkips
+		if fileWorklist > peakWorklist {
+			peakWorklist = fileWorklist
+		}
+		if fileArena > peakArena {
+			peakArena = fileArena
+		}
+		totalReuses += pool.Reuses
+		totalCreates += pool.Creates
+		totalDiscards += pool.Discards
 
 		perRun := ""
 		if *repeat > 1 {
@@ -253,6 +289,16 @@ func main() {
 			"%s: %v phi=%d luts=%d latency=%v cpu=%v%s (in: %d gates, %d FFs)\n",
 			c.Name, res.Algorithm, res.Phi, res.LUTs, res.Latency,
 			elapsed.Round(time.Millisecond), perRun, c.NumGates(), c.NumFFs())
+		fmt.Fprintf(os.Stderr,
+			"%s: sweeps: %d visits, %d skips (%s avoided), worklist peak %d, arena peak %s\n",
+			c.Name, fileVisits, fileSkips, pctAvoided(fileVisits, fileSkips),
+			fileWorklist, byteString(fileArena))
+		if eng != nil {
+			fmt.Fprintf(os.Stderr,
+				"%s: arena pool: %d reuses, %d creates, %d discards, %d parked (%s retained)\n",
+				c.Name, pool.Reuses, pool.Creates, pool.Discards,
+				pool.Free, byteString(pool.FreeBytes))
+		}
 		if *cacheDir != "" {
 			fmt.Fprintf(os.Stderr,
 				"%s: decomp cache: %d/%d hits persisted, %d via NPN, %d roth-karp runs\n",
@@ -286,6 +332,10 @@ func main() {
 		fmt.Fprintf(os.Stderr, "total: %d circuits, %d runs, luts=%d, cpu=%v (%v/run)\n",
 			len(files), totalRuns, totalLUTs, totalCPU.Round(time.Millisecond),
 			(totalCPU / time.Duration(totalRuns)).Round(time.Millisecond))
+		fmt.Fprintf(os.Stderr,
+			"total: sweeps: %d visits, %d skips (%s avoided), worklist peak %d, arena peak %s, pool: %d reuses, %d creates, %d discards\n",
+			totalVisits, totalSkips, pctAvoided(totalVisits, totalSkips),
+			peakWorklist, byteString(peakArena), totalReuses, totalCreates, totalDiscards)
 	}
 
 	if *memProfile != "" {
@@ -306,6 +356,25 @@ func phiString(phi int) string {
 		return "none"
 	}
 	return fmt.Sprintf("%d", phi)
+}
+
+// pctAvoided renders the share of sweep work the dirty-set worklist elided.
+func pctAvoided(visits, skips int) string {
+	if total := visits + skips; total > 0 {
+		return fmt.Sprintf("%d%%", skips*100/total)
+	}
+	return "0%"
+}
+
+// byteString renders a byte count with a binary unit.
+func byteString(b int) string {
+	switch {
+	case b >= 1<<20:
+		return fmt.Sprintf("%.1f MiB", float64(b)/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.1f KiB", float64(b)/(1<<10))
+	}
+	return fmt.Sprintf("%d B", b)
 }
 
 func fatal(err error) {

@@ -59,6 +59,9 @@ func NewEngine(c *Circuit, o Options) (*Engine, error) {
 // closed. Safe to call more than once; only the first call flushes.
 func (e *Engine) Close() error { return e.core.Close() }
 
+// PoolStats is the engine arena-pool counter set (see core.PoolStats).
+type PoolStats = core.PoolStats
+
 // PoolStats reports the engine's arena-pool counters: parked arenas and
 // their retained bytes, plus the lifetime checkout traffic (reuses, creates,
 // poisoned-or-oversized discards). See core.PoolStats and DESIGN.md §10.

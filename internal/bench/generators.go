@@ -232,6 +232,81 @@ func Pipeline(name string, lanes, depth, regEvery int) *netlist.Circuit {
 	return c
 }
 
+// MultiCoreSpec sizes a synthetic multi-core fabric.
+type MultiCoreSpec struct {
+	Cores     int // total cores, chained in clusters of 4
+	StateBits int // registered state bits per core
+	Cubes     int // cubes per next-state SOP
+	Span      int // literals per cube, up to
+}
+
+// MultiCore generates a many-core interleaved fabric: each core is an
+// FSM-style block (StateBits registered next-state SOPs over shared inputs
+// and its own state), and cores chain into clusters of four through
+// pipelined interconnect — registered taps of the upstream core's state feed
+// the downstream core's SOP literal pool. Every cross-core edge carries a
+// register and points forward only, so the SCC condensation is Cores/4
+// independent four-deep chains of per-core loop components: wide enough to
+// keep a worker pool busy, deep enough that the dataflow scheduler's
+// cross-component handoff is on the critical path. This is the 10k/100k
+// scale-push topology (see DESIGN.md §11). Deterministic in name and spec.
+func MultiCore(name string, spec MultiCoreSpec) *netlist.Circuit {
+	var seed int64 = 7
+	for _, b := range []byte(name) {
+		seed = seed*131 + int64(b)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	c := netlist.NewCircuit(name)
+	ins := make([]int, 8)
+	for i := range ins {
+		ins[i] = c.AddPI(fmt.Sprintf("in%d", i))
+	}
+	var prevState []int // upstream core's state bits; nil at cluster heads
+	for k := 0; k < spec.Cores; k++ {
+		// State bits as placeholder buffers, rewired to the SOP roots below
+		// (the same chicken-and-egg break as FSM).
+		state := make([]int, spec.StateBits)
+		for i := range state {
+			state[i] = c.AddGate(fmt.Sprintf("c%d_st%d", k, i), logic.Const(0, false))
+		}
+		pool := make([]netlist.Fanin, 0, len(ins)+len(state)+2)
+		for _, id := range ins {
+			pool = append(pool, netlist.Fanin{From: id})
+		}
+		for _, id := range state {
+			pool = append(pool, netlist.Fanin{From: id})
+		}
+		if prevState != nil {
+			// Pipelined interconnect: two registered taps of the upstream
+			// core's state enter this core's literal pool.
+			for t := 0; t < 2; t++ {
+				src := prevState[(t*(len(prevState)-1))%len(prevState)]
+				tap := c.AddGate(fmt.Sprintf("c%d_tap%d", k, t), logic.Buf(),
+					netlist.Fanin{From: src, Weight: 1})
+				pool = append(pool, netlist.Fanin{From: tap})
+			}
+		}
+		next := make([]int, spec.StateBits)
+		for i := range next {
+			next[i] = skewedSOP(c, rng, fmt.Sprintf("c%d_ns%d", k, i), pool, spec.Cubes, spec.Span)
+		}
+		for i, st := range state {
+			g := c.Nodes[st]
+			g.Func = logic.Buf()
+			g.Fanins = []netlist.Fanin{{From: next[i], Weight: 1}}
+		}
+		if k%4 == 3 || k == spec.Cores-1 {
+			// Cluster tail: observe its state, start a fresh cluster next.
+			c.AddPO(fmt.Sprintf("po%d", k), state[0], 0)
+			prevState = nil
+		} else {
+			prevState = state
+		}
+	}
+	c.InvalidateCaches()
+	return c
+}
+
 // LFSR builds a Galois LFSR of the given width with XOR taps; a light
 // sequential circuit whose loops map at ratio 1 (a sanity anchor in the
 // suite).

@@ -41,10 +41,11 @@ type arena struct {
 	npnMemo map[string]npnEntry
 	npnKey  []byte
 
-	// iterateComp / sccIsolated scratch, sized to the circuit.
-	updatable []int
-	reach     []bool
-	rqueue    []int
+	// sccIsolated scratch, sized to the circuit. (The per-component update
+	// lists iterateComp sweeps are precomputed CSR ranges in analysis, not
+	// arena scratch.)
+	reach  []bool
+	rqueue []int
 
 	// The bound the builder's expansion currently describes, and whether it
 	// is valid for the node being decided (set by decide, consumed by the
@@ -83,7 +84,7 @@ func (ar *arena) reset() {
 func (ar *arena) bytes() int {
 	return ar.xb.Bytes() + ar.ca.Bytes() +
 		cap(ar.varOf)*8 + cap(ar.memo)*8 + ar.tt.Bytes() +
-		cap(ar.updatable)*8 + cap(ar.reach) + cap(ar.rqueue)*8 +
+		cap(ar.reach) + cap(ar.rqueue)*8 +
 		len(ar.npnMemo)*npnEntryBytes + cap(ar.npnKey)
 }
 

@@ -76,6 +76,14 @@ type Options struct {
 	// mapped network are identical either way; the flag exists as an escape
 	// hatch and to benchmark cold probes.
 	NoWarmStart bool
+	// NoWorklist disables the dirty-set worklist inside the per-component
+	// Gauss-Seidel sweeps and restores full-membership passes (every member
+	// visited on every sweep). The worklist skips exactly the visits that
+	// would have been decision-cache no-ops, so labels, covers, verdicts and
+	// every pre-existing Stats counter are bit-identical either way (see
+	// DESIGN.md §11); the flag exists as an escape hatch and to benchmark
+	// the work avoidance (Stats.SweepNodeVisits / Stats.DirtySkips).
+	NoWorklist bool
 	// Workers bounds the worker pool of the parallel label engine and the
 	// speculative probe fan-out of the binary search: 0 means
 	// runtime.NumCPU(), 1 forces the strictly sequential path. Every
@@ -252,6 +260,17 @@ type Stats struct {
 	ProbesLaunched     int // feasibility probes started by the search
 	ProbesCancelled    int // speculative probes cancelled (lost branch)
 
+	// Worklist convergence accounting (see DESIGN.md §11). SweepNodeVisits
+	// counts the member visits label sweeps actually performed; DirtySkips
+	// counts the visits the dirty-set worklist elided because no predecessor
+	// label had changed since the member's last decision (always 0 under
+	// Options.NoWorklist, where every sweep visits every member);
+	// WorklistPeak is the largest number of members any single fast pass
+	// drained — the worklist analogue of QueueDepthPeak.
+	SweepNodeVisits int
+	DirtySkips      int
+	WorklistPeak    int
+
 	// Trace-recorder accounting (zero when Options.Trace is nil).
 	TraceEvents  int // events recorded across all per-worker rings
 	TraceDropped int // events overwritten by ring wrap (lost from the trace)
@@ -296,6 +315,11 @@ func (s *Stats) Add(s2 Stats) {
 	s.CacheNPNHits += s2.CacheNPNHits
 	s.ProbesLaunched += s2.ProbesLaunched
 	s.ProbesCancelled += s2.ProbesCancelled
+	s.SweepNodeVisits += s2.SweepNodeVisits
+	s.DirtySkips += s2.DirtySkips
+	if s2.WorklistPeak > s.WorklistPeak {
+		s.WorklistPeak = s2.WorklistPeak
+	}
 	if s2.TraceEvents > s.TraceEvents {
 		s.TraceEvents = s2.TraceEvents
 	}
@@ -325,6 +349,12 @@ func (s *Stats) fold(cs stats.ConcurrencySnapshot) {
 	s.CacheNPNHits += cs.CacheNPNHits
 	s.ProbesLaunched += cs.ProbesLaunched
 	s.ProbesCancelled += cs.ProbesCancelled
+	// WorklistDepthPeak mirrors the per-sweep drain sizes already folded in
+	// through the per-probe Stats, so max (idempotent) rather than add; the
+	// live DirtySkips gauge is likewise only a mirror and is never folded.
+	if cs.WorklistDepthPeak > s.WorklistPeak {
+		s.WorklistPeak = cs.WorklistDepthPeak
+	}
 }
 
 // Replica is a node of an expanded circuit recorded in a cover: circuit

@@ -21,17 +21,56 @@ import (
 // scheduler needs (updatable member counts, triviality flags, the number of
 // schedulable components and of levels carrying work).
 type analysis struct {
-	order       []int
-	sccs        *graph.SCCs
-	levels      []int
-	memberOrder [][]int
-	indeg       []int
+	order  []int
+	sccs   *graph.SCCs
+	levels []int
+	indeg  []int
+
+	// Per-component member and update lists in CSR form: component comp's
+	// members, in comb topo order, are memberFlat[memberOff[comp]:
+	// memberOff[comp+1]], and its updatable members (gates with fanins — the
+	// sweep universe of iterateComp and the seed universe of the dirty-set
+	// worklist) are the same range of updFlat/updOff. Two flat arrays replace
+	// the per-component slice headers of the earlier [][]int layout: at the
+	// 100k-gate scale the header array alone cost more than the ids, and the
+	// per-component update lists were rebuilt in arena scratch on every
+	// component run.
+	memberFlat []int32
+	memberOff  []int32
+	updFlat    []int32
+	updOff     []int32
+
+	// sameFlat/sameOff: per-node same-component successor lists (CSR) — the
+	// nodes the worklist re-marks dirty when id's label raises. Only
+	// intra-SCC edges appear: a raise never needs to mark across components,
+	// because downstream components either seed fully dirty (cold probes) or
+	// reconcile against upstream labels when they start (warm probes); see
+	// iterateComp. Duplicate edges (parallel fanins) repeat here — marking a
+	// dirty bit twice is free.
+	sameFlat []int32
+	sameOff  []int32
 
 	// Dataflow-scheduler work summary (see runParallel).
 	updates    []int  // updatable members per component
 	trivial    []bool // singleton, acyclic components (inline-chainable)
 	workCount  int    // components with at least one updatable member
 	workLevels int    // condensation levels carrying schedulable work
+}
+
+// members returns component comp's members in comb topo order.
+func (an *analysis) members(comp int) []int32 {
+	return an.memberFlat[an.memberOff[comp]:an.memberOff[comp+1]]
+}
+
+// updatable returns component comp's updatable members (gates with fanins)
+// in comb topo order.
+func (an *analysis) updatable(comp int) []int32 {
+	return an.updFlat[an.updOff[comp]:an.updOff[comp+1]]
+}
+
+// sameCompSucc returns node id's successors inside its own component.
+func (an *analysis) sameCompSucc(id int) []int32 {
+	return an.sameFlat[an.sameOff[id]:an.sameOff[id+1]]
 }
 
 // analyze computes the circuit-invariant analysis.
@@ -43,22 +82,68 @@ func analyze(c *netlist.Circuit) *analysis {
 	an.levels = an.sccs.Levels()
 	an.indeg = an.sccs.InDegrees()
 	nc := an.sccs.NumComps()
-	an.memberOrder = make([][]int, nc)
-	for _, id := range an.order { // comb topo order within each component
-		comp := an.sccs.Comp[id]
-		an.memberOrder[comp] = append(an.memberOrder[comp], id)
-	}
 	an.updates = make([]int, nc)
 	an.trivial = make([]bool, nc)
-	levelSeen := make([]bool, nc)
+	// CSR member/update lists: count per component, prefix-sum the offsets,
+	// then fill by walking the comb topo order with per-component cursors.
+	an.memberOff = make([]int32, nc+1)
+	an.updOff = make([]int32, nc+1)
+	for _, id := range an.order {
+		comp := an.sccs.Comp[id]
+		an.memberOff[comp+1]++
+		n := c.Nodes[id]
+		if n.Kind != netlist.PI && len(n.Fanins) > 0 {
+			an.updOff[comp+1]++
+			an.updates[comp]++
+		}
+	}
 	for comp := 0; comp < nc; comp++ {
-		members := an.memberOrder[comp]
-		for _, id := range members {
-			n := c.Nodes[id]
-			if n.Kind != netlist.PI && len(n.Fanins) > 0 {
-				an.updates[comp]++
+		an.memberOff[comp+1] += an.memberOff[comp]
+		an.updOff[comp+1] += an.updOff[comp]
+	}
+	an.memberFlat = make([]int32, an.memberOff[nc])
+	an.updFlat = make([]int32, an.updOff[nc])
+	mcur := make([]int32, nc)
+	copy(mcur, an.memberOff[:nc])
+	ucur := make([]int32, nc)
+	copy(ucur, an.updOff[:nc])
+	for _, id := range an.order { // comb topo order within each component
+		comp := an.sccs.Comp[id]
+		an.memberFlat[mcur[comp]] = int32(id)
+		mcur[comp]++
+		n := c.Nodes[id]
+		if n.Kind != netlist.PI && len(n.Fanins) > 0 {
+			an.updFlat[ucur[comp]] = int32(id)
+			ucur[comp]++
+		}
+	}
+	// Intra-component successor CSR (dirty-marking targets; see the field
+	// comment). Edges are scanned fanin-side, so no fanout lists are built.
+	n := c.NumNodes()
+	an.sameOff = make([]int32, n+1)
+	for _, node := range c.Nodes {
+		for _, f := range node.Fanins {
+			if an.sccs.Comp[f.From] == an.sccs.Comp[node.ID] {
+				an.sameOff[f.From+1]++
 			}
 		}
+	}
+	for id := 0; id < n; id++ {
+		an.sameOff[id+1] += an.sameOff[id]
+	}
+	an.sameFlat = make([]int32, an.sameOff[n])
+	scur := make([]int32, n)
+	copy(scur, an.sameOff[:n])
+	for _, node := range c.Nodes {
+		for _, f := range node.Fanins {
+			if an.sccs.Comp[f.From] == an.sccs.Comp[node.ID] {
+				an.sameFlat[scur[f.From]] = int32(node.ID)
+				scur[f.From]++
+			}
+		}
+	}
+	levelSeen := make([]bool, nc)
+	for comp := 0; comp < nc; comp++ {
 		if an.updates[comp] > 0 {
 			an.workCount++
 			if !levelSeen[an.levels[comp]] {
@@ -66,8 +151,8 @@ func analyze(c *netlist.Circuit) *analysis {
 				an.workLevels++
 			}
 		}
-		if len(members) == 1 {
-			id := members[0]
+		if members := an.members(comp); len(members) == 1 {
+			id := int(members[0])
 			self := false
 			for _, f := range c.Nodes[id].Fanins {
 				if f.From == id {

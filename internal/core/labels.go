@@ -47,8 +47,6 @@ type state struct {
 	// scheduler counts the level waves it no longer waits on
 	// (Stats.BarriersEliminated) and gates the walk on compDone instead.
 	levels []int
-	// memberOrder lists each component's members in comb topo order.
-	memberOrder [][]int
 
 	// Decision cache: a gate is re-decided only when its L changed since
 	// the last decision. Decisions also depend on deeper labels, so a
@@ -56,6 +54,19 @@ type state struct {
 	// by a full fresh recording pass (see run).
 	lastL   []int
 	decided []bool
+	// dirty is the worklist bit per node (see iterateComp): set when a
+	// predecessor's label changed since the node's last decision, cleared as
+	// the fast pass drains it. The parallel schedule never races on it:
+	// within a run only the worker that owns a node's component writes its
+	// bit (raises mark same-component successors only; cross-component
+	// staleness is reconciled when the successor component starts), and the
+	// warm pre-seeding runs before any worker is spawned.
+	dirty []bool
+	// warmSeeded marks a probe whose decision cache and dirty set were
+	// pre-seeded by seedLabels: components then reconcile their dirty bits
+	// against upstream labels when they start instead of seeding fully
+	// dirty. Cleared by resetFor.
+	warmSeeded bool
 	// Decomposition backoff: nodes whose label keeps rising (a diverging
 	// or slowly converging loop) skip repeated expensive resynthesis
 	// attempts during fast passes; recording passes always attempt, so the
@@ -92,6 +103,14 @@ type state struct {
 	// failed flags an infeasible component so sibling workers stop pumping
 	// labels that no longer matter. Reset at the top of every run.
 	failed atomic.Bool
+	// pendingBuf and compDoneBuf are the dataflow scheduler's per-component
+	// counters (dependency countdowns and completion flags), allocated once
+	// per state and re-initialized at every runParallel entry. At the
+	// 100k-gate scale the condensation has ~O(gates) components, so
+	// allocating these per probe dominated probe setup; keeping them on the
+	// pooled state amortizes them like every other per-circuit array.
+	pendingBuf  []atomic.Int32
+	compDoneBuf []atomic.Bool
 	// compDone, non-nil only while the dataflow scheduler runs, flags
 	// components whose labels are final. The PLD walk reads it to restrict
 	// itself to finished components: under dataflow scheduling "strictly
@@ -130,6 +149,7 @@ func newState(c *netlist.Circuit, phi int, opts Options) *state {
 // usable until resetFor ran and a cache and counter set were attached.
 func blankState(c *netlist.Circuit, an *analysis, pool *arenaPool) *state {
 	n := c.NumNodes()
+	nc := an.sccs.NumComps()
 	return &state{
 		c:           c,
 		an:          an,
@@ -138,12 +158,14 @@ func blankState(c *netlist.Circuit, an *analysis, pool *arenaPool) *state {
 		order:       an.order,
 		sccs:        an.sccs,
 		levels:      an.levels,
-		memberOrder: an.memberOrder,
 		lastL:       make([]int, n),
 		decided:     make([]bool, n),
+		dirty:       make([]bool, n),
 		bumps:       make([]int, n),
 		nextDecomp:  make([]int, n),
 		recs:        make([]coverRec, n),
+		pendingBuf:  make([]atomic.Int32, nc),
+		compDoneBuf: make([]atomic.Bool, nc),
 	}
 }
 
@@ -167,9 +189,11 @@ func (s *state) resetFor(phi int, opts Options) {
 	s.fails.reset()
 	s.failed.Store(false)
 	s.stats = Stats{}
+	s.warmSeeded = false
 	for i := range s.lastL {
 		s.lastL[i] = -labelInf
 		s.decided[i] = false
+		s.dirty[i] = false
 		s.bumps[i] = 0
 		s.nextDecomp[i] = 0
 		s.recs[i] = coverRec{}
@@ -195,14 +219,56 @@ func (s *state) attach(cache *decompCache, conc *stats.Concurrency, cancel *atom
 	s.cancel = cancel
 }
 
-// seedLabels warm-starts this probe from labels converged at a larger phi.
-// Labels are monotone non-increasing in phi, so labels converged at some
-// phi' >= s.phi are a pointwise lower bound on this probe's fixpoint, and
-// the monotone iteration started from them reaches the same fixpoint as a
-// cold start, in fewer sweeps (see DESIGN.md, "Warm-started probes").
-func (s *state) seedLabels(seed []int) {
+// seedLabels warm-starts this probe from labels converged at seedPhi (a
+// phi no smaller than s.phi, by warmUseful's gate). Labels are monotone
+// non-increasing in phi, so labels converged at seedPhi are a pointwise
+// lower bound on this probe's fixpoint, and the monotone iteration started
+// from them reaches the same fixpoint as a cold start, in fewer sweeps (see
+// DESIGN.md, "Warm-started probes").
+//
+// With the dirty-set worklist on, seeding extends the delta discipline
+// across probes: only nodes whose fanin max L moves between seedPhi and
+// s.phi are marked dirty; every other node is pre-decided at its unchanged
+// L — exactly the state an in-run decision whose label did not raise would
+// leave behind — so the probe's first sweeps touch a small fraction of the
+// circuit. A pre-seeded decision can be stale (a decision depends on phi
+// beyond L, through the expansion), but the decision cache is never trusted
+// at convergence: the full fresh recording pass remains the only arbiter
+// (see iterateComp), so the final labels and covers still match the cold
+// fixpoint exactly.
+func (s *state) seedLabels(seed []int, seedPhi int) {
 	copy(s.labels, seed)
 	s.stats.WarmStarts++
+	if s.opts.NoWorklist || seedPhi <= 0 {
+		return
+	}
+	for _, n := range s.c.Nodes {
+		if n.Kind == netlist.PI || len(n.Fanins) == 0 {
+			continue
+		}
+		Lnew, Lold := -labelInf, -labelInf
+		for _, f := range n.Fanins {
+			l := s.labels[f.From]
+			if x := l - s.phi*f.Weight; x > Lnew {
+				Lnew = x
+			}
+			if x := l - seedPhi*f.Weight; x > Lold {
+				Lold = x
+			}
+		}
+		if Lnew != Lold {
+			s.dirty[n.ID] = true
+			continue
+		}
+		// POs carry no decisions (update's PO branch is a pure label max),
+		// but their lastL feeds the reconcile staleness test like any other
+		// node's.
+		s.lastL[n.ID] = Lnew
+		if n.Kind != netlist.PO {
+			s.decided[n.ID] = true
+		}
+	}
+	s.warmSeeded = true
 }
 
 // stopped reports whether the probe should abandon work: a sibling
@@ -358,8 +424,8 @@ func (s *state) safeRunComp(comp int, st *Stats, ar *arena) (out compOutcome) {
 
 // runComp iterates component comp to convergence. st receives the work
 // counters; in the sequential schedule it is the state's own stats, in the
-// parallel schedule a per-component accumulator merged in component-id
-// order after the run. ar is the calling worker's scratch arena; writes
+// parallel schedule the owning worker's accumulator, merged after the
+// run. ar is the calling worker's scratch arena; writes
 // touch only the component's members and the arena, so concurrent
 // invocations on dependency-free components with distinct arenas are
 // disjoint.
@@ -407,15 +473,8 @@ func (s *state) iterateComp(comp int, st *Stats, ar *arena) compOutcome {
 	// stopping rule of SeqMapII remains (the paper's 10-50x comparison).
 	phase(ar, obs.OpLabel)
 	maxLabel := s.c.NumNodes() + 2
-	members := s.memberOrder[comp]
-	updatable := ar.updatable[:0]
-	for _, id := range members {
-		n := s.c.Nodes[id]
-		if n.Kind != netlist.PI && len(n.Fanins) > 0 {
-			updatable = append(updatable, id)
-		}
-	}
-	ar.updatable = updatable
+	members := s.an.members(comp)
+	updatable := s.an.updatable(comp)
 	if len(updatable) == 0 {
 		return compConverged
 	}
@@ -443,6 +502,31 @@ func (s *state) iterateComp(comp int, st *Stats, ar *arena) compOutcome {
 	if s.opts.PLD && capIter < pldFrom+4 {
 		capIter = pldFrom + 4
 	}
+	// Seed the dirty-set worklist. Cold components mark every updatable
+	// member; warm-seeded probes (seedLabels) instead reconcile: a member
+	// pre-decided clean may have gone stale through upstream components this
+	// run raised since seeding, which the L-vs-lastL test detects exactly —
+	// upstream labels are final when a component starts (in both schedules),
+	// and only this component's owning worker touches its members' bits, so
+	// the reconcile is race-free. From here, fast passes visit only dirty
+	// members (every skipped visit would have been a decision-cache no-op:
+	// same L, already decided — or a PO max against an unchanged L), which
+	// is why labels, covers and every pre-worklist Stats counter are
+	// bit-identical to full-membership sweeps. See DESIGN.md §11.
+	worklist := !s.opts.NoWorklist
+	if worklist {
+		if s.warmSeeded {
+			for _, id := range updatable {
+				if !s.dirty[id] && s.computeL(int(id)) != s.lastL[id] {
+					s.dirty[id] = true
+				}
+			}
+		} else {
+			for _, id := range updatable {
+				s.dirty[id] = true
+			}
+		}
+	}
 	ar.curNode = -1
 	for iter := 0; iter < capIter; iter++ {
 		faultinject.Sweep()
@@ -455,31 +539,56 @@ func (s *state) iterateComp(comp int, st *Stats, ar *arena) compOutcome {
 		st.Iterations++
 		s.conc.AddIteration()
 		changed := false
-		for ui, id := range updatable {
-			if ui&checkpointMask == checkpointMask && s.stopped() {
+		visited := 0
+		for _, id32 := range updatable {
+			id := int(id32)
+			if worklist && !s.dirty[id] {
+				continue
+			}
+			if visited&checkpointMask == checkpointMask && s.stopped() {
 				return compCancelled
 			}
+			visited++
+			s.dirty[id] = false
 			if s.update(id, false, st, ar) {
 				changed = true
+				if worklist {
+					s.markDirty(id)
+				}
 			}
 		}
-		// The live "nodes labeled" gauge pays one atomic add per sweep, not
-		// per node — the hot path stays untouched.
-		s.conc.AddNodeUpdates(len(updatable))
+		// The live gauges pay a few atomic adds per sweep, not per node —
+		// the hot path stays untouched.
+		st.SweepNodeVisits += visited
+		st.DirtySkips += len(updatable) - visited
+		if visited > st.WorklistPeak {
+			st.WorklistPeak = visited
+		}
+		s.conc.AddNodeUpdates(visited)
+		s.conc.AddDirtySkips(len(updatable) - visited)
+		s.conc.ObserveWorklist(visited)
 		if !changed {
 			// Recording pass: re-decide everything at the converged
-			// labels and keep the covers. A change here means the
-			// Gauss-Seidel sweep raced itself; keep iterating.
+			// labels and keep the covers — the worklist never thins this
+			// pass, so convergence is still declared only by a full fresh
+			// sweep. A change here means the Gauss-Seidel sweep raced
+			// itself, or a warm-seeded decision went stale; keep iterating.
 			st.Iterations++
 			s.conc.AddIteration()
-			for ui, id := range updatable {
+			for ui, id32 := range updatable {
 				if ui&checkpointMask == checkpointMask && s.stopped() {
 					return compCancelled
 				}
+				id := int(id32)
+				s.dirty[id] = false
 				if s.update(id, true, st, ar) {
 					changed = true
+					if worklist {
+						s.markDirty(id)
+					}
 				}
 			}
+			st.SweepNodeVisits += len(updatable)
 			s.conc.AddNodeUpdates(len(updatable))
 			if !changed {
 				return compConverged
@@ -539,6 +648,17 @@ func (s *state) update(id int, record bool, st *Stats, ar *arena) bool {
 		return true
 	}
 	return false
+}
+
+// markDirty flags id's same-component successors for a revisit after id's
+// label rose. Same-component only, so the bits stay owned by the worker
+// running the component; cross-component effects are handled when the
+// successor component starts (cold components seed fully dirty, warm ones
+// reconcile against the by-then-final upstream labels — see iterateComp).
+func (s *state) markDirty(id int) {
+	for _, v := range s.an.sameCompSucc(id) {
+		s.dirty[v] = true
+	}
 }
 
 // decide computes the label for gate id given L, optionally producing the

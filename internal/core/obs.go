@@ -35,11 +35,14 @@ func liveCounters(conc *stats.Concurrency, rec *obs.Recorder) func() obs.Counter
 		c := obs.Counters{
 			Workers:         cs.Workers,
 			NodesLabeled:    cs.NodeUpdates,
+			NodesSkipped:    cs.DirtySkips,
 			Iterations:      cs.Iterations,
 			ProbesLaunched:  cs.ProbesLaunched,
 			ProbesFinished:  cs.ProbesFinished,
 			ReadyQueueDepth: cs.QueueDepth,
 			QueueDepthPeak:  cs.QueueDepthPeak,
+			WorklistDepth:   cs.WorklistDepth,
+			WorklistPeak:    cs.WorklistDepthPeak,
 			Degradations:    cs.Degradations,
 			ArenaPeakBytes:  cs.ArenaPeakBytes,
 			CacheHits:       cs.CacheHits,

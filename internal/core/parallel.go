@@ -16,7 +16,7 @@ import (
 // so every label it can read outside itself is final. Within a component
 // the unmodified sequential iteration runs, per-component state is written
 // only by the worker owning the component, work counters accumulate into
-// per-component Stats merged in component-id order after the run, and the
+// per-worker Stats merged after the run, and the
 // shared decomposition cache is keyed on full Decompose inputs — which
 // together keep the parallel path bit-identical to the sequential one (the
 // golden equivalence test enforces this).
@@ -63,13 +63,22 @@ func (s *state) runParallel() (bool, error) {
 	// that carry schedulable work.
 	s.conc.AddBarriersEliminated(s.an.workLevels - 1)
 
+	// Scheduler bookkeeping lives on the pooled state (pendingBuf,
+	// compDoneBuf): the condensation of a 100k-gate netlist has on the order
+	// of the gate count in components, so allocating these per probe
+	// dominated probe setup at that scale. Both are fully re-initialized
+	// here; per-worker Stats accumulators are worker-pool-sized (small) and
+	// stay per-run.
 	indeg := s.an.indeg
-	pending := make([]atomic.Int32, nc)
+	pending := s.pendingBuf
 	for comp, deg := range indeg {
 		pending[comp].Store(int32(deg))
 	}
-	s.compDone = make([]atomic.Bool, nc)
-	taskStats := make([]Stats, nc)
+	for comp := range s.compDoneBuf {
+		s.compDoneBuf[comp].Store(false)
+	}
+	s.compDone = s.compDoneBuf
+	workerStats := make([]Stats, workers)
 	var (
 		aborted   atomic.Bool
 		remaining atomic.Int64
@@ -123,7 +132,7 @@ func (s *state) runParallel() (bool, error) {
 		return next
 	}
 
-	runOne := func(comp int, ar *arena) {
+	runOne := func(comp int, st *Stats, ar *arena) {
 		if s.stopped() {
 			// A sibling proved phi infeasible, the search cancelled the
 			// probe, the context expired or a fatal error was recorded: stop
@@ -132,7 +141,7 @@ func (s *state) runParallel() (bool, error) {
 			aborted.Store(true)
 			return
 		}
-		out := s.safeRunComp(comp, &taskStats[comp], ar)
+		out := s.safeRunComp(comp, st, ar)
 		if out != compConverged {
 			aborted.Store(true)
 			if out == compInfeasible {
@@ -168,6 +177,7 @@ func (s *state) runParallel() (bool, error) {
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		ar := s.arenaFor(w)
+		ws := &workerStats[w]
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
@@ -194,7 +204,7 @@ func (s *state) runParallel() (bool, error) {
 				for comp >= 0 {
 					s.conc.AddTask()
 					faultinject.Delay()
-					runOne(comp, ar)
+					runOne(comp, ws, ar)
 					grain += updates[comp]
 					comp = finish(comp, grain < s.opts.TaskGrain)
 				}
@@ -204,13 +214,17 @@ func (s *state) runParallel() (bool, error) {
 	}
 	wg.Wait()
 
-	// Merge work counters in component-id order: deterministic by
-	// construction, not by commutativity arguments. (Integer sums are
-	// order-insensitive anyway on feasible runs; on infeasible runs the
-	// amount of sibling work done before everyone noticed the failure still
-	// depends on timing.)
-	for comp := 0; comp < nc; comp++ {
-		s.stats.Add(taskStats[comp])
+	// Merge work counters in worker-id order. On feasible runs the totals
+	// are schedule-independent regardless of merge order: every component's
+	// iteration depends only on its own members and final upstream labels,
+	// so its counter contributions are fixed, and Add's integer sums and
+	// maxes commute. (On infeasible runs the amount of sibling work done
+	// before everyone noticed the failure still depends on timing —
+	// unchanged from the earlier per-component accumulators, which this
+	// per-worker form replaces to drop the O(components) per-probe
+	// allocation that dominated setup at the 100k-component scale.)
+	for w := range workerStats {
+		s.stats.Add(workerStats[w])
 	}
 	if aborted.Load() {
 		return s.finishRun(false)

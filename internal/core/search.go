@@ -122,7 +122,7 @@ func (e *Engine) minimizeSearch(ub int, opts Options, total *Stats, conc *stats.
 		s.attach(e.cache, conc, nil)
 		s.guard = guard
 		if warm && warmLabels != nil && warmUseful(mid, warmPhi) {
-			s.seedLabels(warmLabels)
+			s.seedLabels(warmLabels, warmPhi)
 		}
 		var t0 int64
 		if ring != nil {
@@ -260,7 +260,7 @@ func (e *Engine) speculativeSearch(ub int, opts Options, total *Stats, conc *sta
 		running[phi] = p
 		all = append(all, p)
 		conc.AddProbeLaunched()
-		seed := warmLabels
+		seed, seedPhi := warmLabels, warmPhi
 		if !warmUseful(phi, warmPhi) {
 			seed = nil
 		}
@@ -280,7 +280,7 @@ func (e *Engine) speculativeSearch(ub int, opts Options, total *Stats, conc *sta
 			s.attach(e.cache, conc, &p.cancel)
 			s.guard = guard
 			if seed != nil {
-				s.seedLabels(seed)
+				s.seedLabels(seed, seedPhi)
 			}
 			p.ok, p.err = s.run()
 			p.stats = s.stats

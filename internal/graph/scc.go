@@ -56,17 +56,32 @@ func StronglyConnected(g Adjacency) *SCCs {
 		counter  int
 		stack    []int // Tarjan stack of nodes
 		members  [][]int
-		succBuf  = make([][]int, n) // lazily materialized successor lists
-		callNode []int              // DFS call stack: node
-		callIdx  []int              // DFS call stack: next successor index
+		callNode []int // DFS call stack: node
+		callIdx  []int // DFS call stack: next successor index
 	)
-	succ := func(u int) []int {
-		if succBuf[u] == nil {
-			list := []int{}
-			g.Succ(u, func(v int) { list = append(list, v) })
-			succBuf[u] = list
-		}
-		return succBuf[u]
+	// Successor lists in CSR form, materialized up front in two passes
+	// (degree count, then fill). Tarjan visits every node, so nothing here is
+	// wasted; the per-node lazily allocated slices this replaces cost one
+	// heap allocation per node and dominated condensation build time on
+	// 100k-node netlists. The same flat arrays then feed the condensation
+	// edge collection below, saving a third adjacency walk.
+	succOff := make([]int32, n+1)
+	for u := 0; u < n; u++ {
+		d := 0
+		g.Succ(u, func(int) { d++ })
+		succOff[u+1] = succOff[u] + int32(d)
+	}
+	succFlat := make([]int32, succOff[n])
+	cur := make([]int32, n)
+	copy(cur, succOff[:n])
+	for u := 0; u < n; u++ {
+		g.Succ(u, func(v int) {
+			succFlat[cur[u]] = int32(v)
+			cur[u]++
+		})
+	}
+	succ := func(u int) []int32 {
+		return succFlat[succOff[u]:succOff[u+1]]
 	}
 	for root := 0; root < n; root++ {
 		if index[root] != unvisited {
@@ -85,7 +100,7 @@ func StronglyConnected(g Adjacency) *SCCs {
 			ss := succ(u)
 			if i < len(ss) {
 				callIdx[len(callIdx)-1]++
-				v := ss[i]
+				v := int(ss[i])
 				if index[v] == unvisited {
 					index[v] = counter
 					low[v] = counter
@@ -143,11 +158,11 @@ func StronglyConnected(g Adjacency) *SCCs {
 	edges := make([][2]int, 0, n)
 	for u := 0; u < n; u++ {
 		cu := comp[u]
-		g.Succ(u, func(v int) {
+		for _, v := range succ(u) {
 			if cv := comp[v]; cv != cu {
 				edges = append(edges, [2]int{cu, cv})
 			}
-		})
+		}
 	}
 	sort.Slice(edges, func(i, j int) bool {
 		if edges[i][0] != edges[j][0] {

@@ -58,12 +58,15 @@ func (s Snapshot) gauges() []struct {
 		{"turbosyn_best_phi", "smallest feasible phi proven so far (-1 = none)", float64(s.BestPhi)},
 		{"turbosyn_done", "1 once the run has delivered its final snapshot", b(s.Done)},
 		{"turbosyn_workers", "effective worker-pool size", float64(s.Workers)},
-		{"turbosyn_nodes_labeled_total", "label updates performed", float64(s.NodesLabeled)},
+		{"turbosyn_nodes_labeled_total", "member visits performed by label sweeps", float64(s.NodesLabeled)},
+		{"turbosyn_nodes_skipped_total", "member visits elided by the dirty-set worklist", float64(s.NodesSkipped)},
 		{"turbosyn_iterations_total", "label-update passes over SCC members", float64(s.Iterations)},
 		{"turbosyn_probes_launched_total", "feasibility probes started", float64(s.ProbesLaunched)},
 		{"turbosyn_probes_finished_total", "feasibility probes completed", float64(s.ProbesFinished)},
 		{"turbosyn_ready_queue_depth", "current dataflow ready-queue depth", float64(s.ReadyQueueDepth)},
 		{"turbosyn_ready_queue_depth_peak", "ready-queue depth high-water mark", float64(s.QueueDepthPeak)},
+		{"turbosyn_worklist_depth", "dirty members drained by the last fast pass", float64(s.WorklistDepth)},
+		{"turbosyn_worklist_depth_peak", "largest fast-pass worklist drain", float64(s.WorklistPeak)},
 		{"turbosyn_degradations_total", "budget exhaustions absorbed", float64(s.Degradations)},
 		{"turbosyn_arena_peak_bytes", "busiest scratch arena footprint", float64(s.ArenaPeakBytes)},
 		{"turbosyn_cache_hits_total", "decomposition-cache hits", float64(s.CacheHits)},

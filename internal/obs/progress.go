@@ -11,12 +11,15 @@ import (
 // recorder's totals) at delivery time.
 type Counters struct {
 	Workers         int // effective worker-pool size
-	NodesLabeled    int // label updates performed across all sweeps
+	NodesLabeled    int // member visits performed across all label sweeps
+	NodesSkipped    int // member visits elided by the dirty-set worklist
 	Iterations      int // label-update passes over SCC members
 	ProbesLaunched  int // feasibility probes started
 	ProbesFinished  int // feasibility probes completed (any verdict)
 	ReadyQueueDepth int // current dataflow ready-queue depth
 	QueueDepthPeak  int // ready-queue depth high-water mark
+	WorklistDepth   int // dirty members drained by the last fast pass
+	WorklistPeak    int // largest fast-pass worklist drain so far
 	Degradations    int // budget exhaustions absorbed so far
 	ArenaPeakBytes  int // busiest scratch arena's high-water footprint
 	CacheHits       int // decomposition-cache hits

@@ -30,6 +30,9 @@ type Concurrency struct {
 	iterations         atomic.Int64
 	degradations       atomic.Int64
 	arenaPeakBytes     atomic.Int64
+	worklistDepth      atomic.Int64
+	worklistDepthPeak  atomic.Int64
+	dirtySkips         atomic.Int64
 }
 
 // maxInt64 raises gauge g to v if v is larger (a lock-free running maximum).
@@ -101,12 +104,30 @@ func (c *Concurrency) AddProbeCancelled() { c.probesCancelled.Add(1) }
 // number of probes in flight.
 func (c *Concurrency) AddProbeFinished() { c.probesFinished.Add(1) }
 
-// AddNodeUpdates counts label updates performed; the engine calls it once
-// per sweep with the sweep's update count, so the live "nodes labeled"
+// AddNodeUpdates counts member visits label sweeps performed (with the
+// dirty-set worklist on, visits the worklist actually drained — skipped
+// members contribute to AddDirtySkips instead); the engine calls it once
+// per sweep with the sweep's visit count, so the live "nodes labeled"
 // gauge costs one atomic add per sweep, not per node.
 func (c *Concurrency) AddNodeUpdates(n int) {
 	if n > 0 {
 		c.nodeUpdates.Add(int64(n))
+	}
+}
+
+// ObserveWorklist records how many dirty members a fast pass drained: the
+// snapshot exposes both the latest drain size (a live queue-style gauge for
+// progress reports) and the high-water mark, mirroring ObserveQueueDepth.
+func (c *Concurrency) ObserveWorklist(depth int) {
+	c.worklistDepth.Store(int64(depth))
+	maxInt64(&c.worklistDepthPeak, int64(depth))
+}
+
+// AddDirtySkips counts member visits the dirty-set worklist elided (the
+// live mirror of Stats.DirtySkips; one atomic add per sweep).
+func (c *Concurrency) AddDirtySkips(n int) {
+	if n > 0 {
+		c.dirtySkips.Add(int64(n))
 	}
 }
 
@@ -138,10 +159,13 @@ type ConcurrencySnapshot struct {
 	ProbesLaunched     int // feasibility probes started
 	ProbesCancelled    int // speculative probes cancelled
 	ProbesFinished     int // probes completed with any verdict
-	NodeUpdates        int // label updates performed
+	NodeUpdates        int // member visits performed by label sweeps
 	Iterations         int // label-update passes over SCC members
 	Degradations       int // budget exhaustions absorbed (live mirror)
 	ArenaPeakBytes     int // busiest scratch arena footprint (live mirror)
+	WorklistDepth      int // dirty members drained by the last fast pass
+	WorklistDepthPeak  int // largest fast-pass worklist drain (high-water mark)
+	DirtySkips         int // member visits elided by the worklist (live mirror)
 }
 
 // Snapshot reads the counters.
@@ -165,5 +189,8 @@ func (c *Concurrency) Snapshot() ConcurrencySnapshot {
 		Iterations:         int(c.iterations.Load()),
 		Degradations:       int(c.degradations.Load()),
 		ArenaPeakBytes:     int(c.arenaPeakBytes.Load()),
+		WorklistDepth:      int(c.worklistDepth.Load()),
+		WorklistDepthPeak:  int(c.worklistDepthPeak.Load()),
+		DirtySkips:         int(c.dirtySkips.Load()),
 	}
 }

@@ -118,6 +118,11 @@ type Options struct {
 	// already-decided probes. Results are identical either way; the flag
 	// benchmarks cold probes (see core.Options.NoWarmStart).
 	NoWarmStart bool
+	// NoWorklist disables the dirty-set worklist inside the label sweeps,
+	// restoring full-membership passes. Results are bit-identical either
+	// way; the flag benchmarks the work avoidance (see
+	// core.Options.NoWorklist).
+	NoWorklist bool
 	// Advanced tuning; zero values mean the paper's settings.
 	Cmax     int
 	MaxH     int
@@ -337,6 +342,7 @@ func (o Options) coreOptions(pg *obs.Progress, logger *slog.Logger) core.Options
 		Relax:           !o.NoRelax,
 		Workers:         o.Workers,
 		NoWarmStart:     o.NoWarmStart,
+		NoWorklist:      o.NoWorklist,
 		TaskGrain:       o.TaskGrain,
 		CacheDir:        o.CacheDir,
 		BDDNodeBudget:   o.BDDNodeBudget,

@@ -1,0 +1,56 @@
+package turbosyn
+
+import (
+	"bytes"
+	"testing"
+
+	"turbosyn/internal/bench"
+)
+
+// TestWorklistSuiteBitIdentical runs the quick suite slice (the same four
+// circuits as the cache-warm gate: FSM SOPs plus a datapath carry chain)
+// through Synthesize with the dirty-set worklist on (default) and off
+// (Options.NoWorklist) and requires byte-identical BLIF, phi and LUT counts
+// per circuit — the end-to-end face of the invariant
+// TestWorklistMatchesFullSweep pins inside internal/core: the worklist skips
+// only visits that full sweeps would have elided as decision-cache no-ops.
+// The worklist run must also report the work avoidance it claims.
+func TestWorklistSuiteBitIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two full syntheses per circuit; run via make test-full")
+	}
+	quick := map[string]bool{"bbara": true, "bbsse": true, "cse": true, "s420": true}
+	for _, cs := range bench.Suite() {
+		if !quick[cs.Name] {
+			continue
+		}
+		t.Run(cs.Name, func(t *testing.T) {
+			run := func(noWorklist bool) ([]byte, *Result) {
+				res, err := Synthesize(cs.Circuit, Options{K: 5, NoWorklist: noWorklist})
+				if err != nil {
+					t.Fatal(err)
+				}
+				var buf bytes.Buffer
+				if err := WriteBLIF(&buf, res.Realized); err != nil {
+					t.Fatal(err)
+				}
+				return buf.Bytes(), res
+			}
+			onBLIF, on := run(false)
+			offBLIF, off := run(true)
+			if on.Phi != off.Phi || on.LUTs != off.LUTs {
+				t.Fatalf("worklist changed the result: phi %d/%d, LUTs %d/%d",
+					on.Phi, off.Phi, on.LUTs, off.LUTs)
+			}
+			if !bytes.Equal(onBLIF, offBLIF) {
+				t.Error("worklist run's realized BLIF differs from full sweeps")
+			}
+			if on.Stats.DirtySkips == 0 {
+				t.Error("worklist run elided no visits")
+			}
+			if off.Stats.DirtySkips != 0 {
+				t.Errorf("full-sweep run reported %d dirty skips", off.Stats.DirtySkips)
+			}
+		})
+	}
+}
