@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build lint vulncheck test test-full race chaos fuzz-smoke bench-smoke bench-scale bench-scale-100k trace-smoke cache-warm
+.PHONY: build lint vulncheck test test-full race chaos fuzz-smoke bench-smoke bench-scale bench-scale-100k trace-smoke cache-warm daemon-smoke bench-daemon
 
 # Compile everything and vet it.
 build:
@@ -56,6 +56,33 @@ chaos:
 		./internal/core
 	$(GO) test -race -count 2 ./internal/faultinject ./internal/decomp/cachelog
 	$(GO) test -race -timeout 10m -run 'TestSynthesizeCancel|TestSynthesizeDeadline|TestSynthesizeExpired' .
+	$(GO) test -race -count 2 -timeout 15m -run 'TestChaos|TestJournal' ./internal/server
+	$(GO) test -race -count 2 ./internal/jobqueue
+
+# Daemon smoke: the end-to-end serving contract over real HTTP — a mixed
+# batch of quick jobs from three tenants including one malformed BLIF (typed
+# invalid failure) and one over-quota burst (429 + Retry-After), plus the
+# restart-recovery and drain-refusal scenarios, all under the race detector.
+# Every accepted job must reach a terminal state and the drain must leave
+# accepted == done + failed + shed (see internal/server/server_test.go).
+daemon-smoke:
+	$(GO) test -race -count=1 -timeout 10m -v \
+		-run 'TestDaemonSmoke|TestDaemonRecovery|TestDaemonDrainRejectsSubmit|TestDaemonByteIdentity|TestDaemonMemBudgetAdmission|TestProgressStream' \
+		./internal/server
+	$(GO) test -race -count=1 ./internal/jobqueue
+
+# Daemon load benchmark: cmd/loadgen replays 1000 quick jobs per
+# concurrency level against an in-process daemon (saturation sweep), and the
+# p50/p99/throughput numbers are rendered to BENCH_daemon_new.json and gated
+# against the committed BENCH_daemon.json. Only the time gate applies, and
+# loosely (5x): end-to-end daemon latency includes HTTP and scheduler noise
+# that per-op engine benchmarks do not have. Bytes/allocs gates are disabled
+# (loadgen reports neither).
+bench-daemon:
+	$(GO) run ./cmd/loadgen -jobs 1000 -concurrency 8,32,128 | tee loadgen-daemon.txt
+	$(GO) run ./cmd/benchjson -o BENCH_daemon_new.json < loadgen-daemon.txt
+	$(GO) run ./cmd/benchjson -delta -max-time-ratio 5.0 -max-bytes-ratio 0 -max-allocs-ratio 0 BENCH_daemon.json BENCH_daemon_new.json
+	mv BENCH_daemon_new.json BENCH_daemon.json
 
 # Warm-cache gate: run the suite slice twice against one cache directory and
 # assert the second run serves >= 80% of its hits from persisted entries,

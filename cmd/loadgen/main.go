@@ -1,0 +1,198 @@
+// Command loadgen is the turbosynd load-test harness: it replays a batch of
+// concurrent quick synthesis jobs against a daemon — an external one via
+// -url, or an in-process daemon it spins up itself — sweeping a list of
+// client-concurrency levels to trace the saturation curve, and reports
+// per-level p50/p99 job latency and throughput.
+//
+// Output is `go test -bench` format on stdout, so the standard pipeline
+// publishes and gates it:
+//
+//	loadgen -jobs 1000 -concurrency 8,32,128 | benchjson -o BENCH_daemon.json
+//	benchjson -delta BENCH_daemon.json new.json -max-time-ratio 5
+//
+// One line per level:
+//
+//	BenchmarkDaemonLoad/c32 1000 1234567 ns/op 1.2 p50-ms 9.8 p99-ms 810 jobs/sec 0 retries
+//
+// ns/op is mean end-to-end job latency (submit to terminal state); retries
+// counts 429/503 re-submissions absorbed by the client's backoff — nonzero
+// retries at high concurrency with zero failures is admission control doing
+// its job.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"turbosyn/internal/jobqueue"
+	"turbosyn/internal/server"
+)
+
+// quickBLIF is the canonical quick job (2 LUTs, one latch): small enough
+// that the daemon's serving overhead, not the engine, dominates latency.
+const quickBLIF = ".model loadgen\n.inputs a\n.outputs z\n.latch n q 0\n.names a q n\n11 1\n.names q z\n1 1\n.end\n"
+
+func main() {
+	var (
+		url         = flag.String("url", "", "daemon base URL (empty: spin up an in-process daemon)")
+		jobs        = flag.Int("jobs", 1000, "jobs per concurrency level")
+		concurrency = flag.String("concurrency", "8,32,64,128", "comma-separated client-concurrency sweep")
+		tenants     = flag.Int("tenants", 4, "spread jobs across this many tenants")
+		fleet       = flag.Int("fleet", 0, "in-process daemon fleet size (0 = all CPUs)")
+		queueCap    = flag.Int("queue-cap", 256, "in-process daemon queue capacity (bounds admission; drives retries at saturation)")
+		timeout     = flag.Duration("timeout", 5*time.Minute, "overall deadline per concurrency level")
+	)
+	flag.Parse()
+
+	levels, err := parseLevels(*concurrency)
+	if err != nil {
+		fatal(err)
+	}
+
+	base := *url
+	if base == "" {
+		s, serr := server.New(server.Config{
+			Fleet: *fleet,
+			Queue: jobqueue.Config{Capacity: *queueCap},
+		})
+		if serr != nil {
+			fatal(serr)
+		}
+		s.Start()
+		defer s.Close()
+		srv := server.NewHTTPServer("127.0.0.1:0", s.Handler())
+		addr, shutdown, serr := server.ListenAndServeBackground(srv, nil)
+		if serr != nil {
+			fatal(serr)
+		}
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			shutdown(ctx)
+		}()
+		base = "http://" + addr.String()
+		fmt.Fprintf(os.Stderr, "loadgen: in-process daemon at %s (fleet %d, queue %d)\n", base, *fleet, *queueCap)
+	}
+
+	// Context lines so benchjson records the run environment.
+	fmt.Printf("goos: %s\ngoarch: %s\npkg: turbosyn/cmd/loadgen\ncpu: %d logical\n",
+		runtime.GOOS, runtime.GOARCH, runtime.NumCPU())
+
+	for _, c := range levels {
+		res, err := runLevel(base, *jobs, c, *tenants, *timeout)
+		if err != nil {
+			fatal(fmt.Errorf("concurrency %d: %w", c, err))
+		}
+		fmt.Printf("BenchmarkDaemonLoad/c%d %d %d ns/op %.2f p50-ms %.2f p99-ms %.1f jobs/sec %d retries\n",
+			c, *jobs, res.mean.Nanoseconds(), ms(res.p50), ms(res.p99), res.throughput, res.retries)
+		if res.failed > 0 {
+			fatal(fmt.Errorf("concurrency %d: %d jobs failed", c, res.failed))
+		}
+	}
+}
+
+type levelResult struct {
+	mean, p50, p99 time.Duration
+	throughput     float64 // completed jobs per second of wall time
+	retries        int64
+	failed         int
+}
+
+// runLevel replays jobs quick submissions through conc client workers and
+// aggregates the latency distribution.
+func runLevel(base string, jobs, conc, tenants int, timeout time.Duration) (*levelResult, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+
+	latencies := make([]time.Duration, jobs)
+	var failed atomic.Int64
+	var retries atomic.Int64
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	errs := make(chan error, conc)
+	start := time.Now()
+	for w := 0; w < conc; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cl := server.NewClient(base, "")
+			cl.MaxAttempts = 50 // saturation sheds hard; keep retrying within the level deadline
+			cl.BaseBackoff = 20 * time.Millisecond
+			defer func() { retries.Add(cl.Retries()) }()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= jobs {
+					return
+				}
+				spec := server.JobSpec{
+					Tenant: fmt.Sprintf("tenant-%d", i%tenants),
+					BLIF:   quickBLIF,
+				}
+				t0 := time.Now()
+				id, err := cl.Submit(ctx, spec)
+				if err != nil {
+					errs <- fmt.Errorf("job %d: %w", i, err)
+					return
+				}
+				st, err := cl.Wait(ctx, id, 5*time.Millisecond)
+				if err != nil {
+					errs <- fmt.Errorf("job %d (%s): %w", i, id, err)
+					return
+				}
+				latencies[i] = time.Since(t0)
+				if st.State != server.StateDone {
+					failed.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	select {
+	case err := <-errs:
+		return nil, err
+	default:
+	}
+
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	var sum time.Duration
+	for _, d := range latencies {
+		sum += d
+	}
+	return &levelResult{
+		mean:       sum / time.Duration(jobs),
+		p50:        latencies[jobs/2],
+		p99:        latencies[jobs*99/100],
+		throughput: float64(jobs) / wall.Seconds(),
+		retries:    retries.Load(),
+		failed:     int(failed.Load()),
+	}, nil
+}
+
+func parseLevels(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad concurrency level %q", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "loadgen:", err)
+	os.Exit(1)
+}

@@ -30,6 +30,7 @@ import (
 
 	"turbosyn"
 	"turbosyn/internal/prof"
+	"turbosyn/internal/server"
 )
 
 func main() {
@@ -57,6 +58,10 @@ func main() {
 		verbose     = flag.Bool("v", false, "structured logging to stderr at debug level (per-probe verdicts, phase changes)")
 		logJSON     = flag.Bool("log-json", false, "emit structured logs as JSON (info level; combine with -v for debug)")
 		metricsAddr = flag.String("metrics-addr", "", "serve live run metrics on this address (/metrics Prometheus text, /debug/vars expvar)")
+
+		serverURL = flag.String("server", "", "submit the inputs to a turbosynd daemon at this base URL instead of synthesizing locally (client mode; retries shed load with jittered backoff)")
+		tenant    = flag.String("tenant", "", "tenant name for -server submissions (default anonymous)")
+		priority  = flag.Int("priority", 0, "priority for -server submissions (higher runs first within the tenant)")
 	)
 	flag.Parse()
 	if flag.NArg() < 1 {
@@ -70,6 +75,17 @@ func main() {
 	}
 	if *repeat < 1 {
 		fatal(fmt.Errorf("-repeat %d: must be at least 1", *repeat))
+	}
+
+	if *serverURL != "" {
+		runClient(clientConfig{
+			base: *serverURL, tenant: *tenant, priority: *priority,
+			files: files, out: *out, timeout: *timeout,
+			k: *k, alg: *alg, objective: *objective,
+			noPack: *noPack, mapped: *raw, strict: *strict,
+			bddBudget: *bddBudget, rkBudget: *rkBudget,
+		})
+		return
 	}
 
 	if *cpuProfile != "" {
@@ -158,10 +174,20 @@ func main() {
 		mux := http.NewServeMux()
 		mux.Handle("/metrics", met)
 		mux.Handle("/debug/vars", expvar.Handler())
-		go func() {
-			if err := http.ListenAndServe(*metricsAddr, mux); err != nil {
-				fmt.Fprintln(os.Stderr, "turbosyn: metrics server:", err)
-			}
+		// The daemon's hardened scaffolding (header timeouts, graceful
+		// shutdown) rather than a bare ListenAndServe: a stuck scraper cannot
+		// pin the listener, and exiting drains in-flight scrapes.
+		srv := server.NewHTTPServer(*metricsAddr, mux)
+		_, shutdown, err := server.ListenAndServeBackground(srv, func(err error) {
+			fmt.Fprintln(os.Stderr, "turbosyn: metrics server:", err)
+		})
+		if err != nil {
+			fatal(fmt.Errorf("metrics server: %w", err))
+		}
+		defer func() {
+			sctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer cancel()
+			shutdown(sctx)
 		}()
 	}
 

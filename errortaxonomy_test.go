@@ -1,0 +1,72 @@
+// External test package: internal/server imports turbosyn, so this
+// cross-layer taxonomy test must live outside package turbosyn to avoid an
+// import cycle.
+package turbosyn_test
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+
+	"turbosyn"
+	"turbosyn/internal/server"
+)
+
+// TestErrorTaxonomyThroughFacade pins the error-taxonomy contract end to
+// end: a real engine error produced through the public facade survives the
+// daemon's wire encoding (job-result JSON) and raises back into the same
+// facade types, so errors.Is/As give identical answers on both sides of the
+// wire.
+func TestErrorTaxonomyThroughFacade(t *testing.T) {
+	src := ".model m\n.inputs a\n.outputs z\n.latch n q 0\n.names a q n\n11 1\n.names q z\n1 1\n.end\n"
+	c, err := turbosyn.ReadBLIF(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, serr := turbosyn.SynthesizeContext(ctx, c, turbosyn.Options{})
+	if serr == nil {
+		t.Fatal("expired context produced no error")
+	}
+
+	// Local side: the facade alias matches.
+	var ce *turbosyn.CancelError
+	if !errors.As(serr, &ce) {
+		t.Fatalf("facade error is not a *CancelError: %v", serr)
+	}
+
+	// Wire side: encode as the daemon would into job-result JSON, decode as
+	// a client would, raise, and re-assert the same taxonomy.
+	data, jerr := json.Marshal(server.EncodeError(serr))
+	if jerr != nil {
+		t.Fatal(jerr)
+	}
+	var info server.ErrorInfo
+	if jerr := json.Unmarshal(data, &info); jerr != nil {
+		t.Fatal(jerr)
+	}
+	wireErr := info.Err()
+	var wce *turbosyn.CancelError
+	if !errors.As(wireErr, &wce) {
+		t.Fatalf("wire error is not a *CancelError: %v", wireErr)
+	}
+	if !errors.Is(wireErr, context.Canceled) {
+		t.Errorf("wire error lost context.Canceled: %v", wireErr)
+	}
+	if wce.Phase != ce.Phase || wce.BestPhi != ce.BestPhi {
+		t.Errorf("wire round-trip changed detail: local %+v, wire %+v", ce, wce)
+	}
+
+	// The remaining kinds raise to the facade aliases too.
+	var be *turbosyn.BudgetError
+	if !errors.As((&server.ErrorInfo{Kind: server.KindBudget, Resource: "r", Limit: 9}).Err(), &be) {
+		t.Error("wire budget error is not a facade *BudgetError")
+	}
+	var ie *turbosyn.InternalError
+	if !errors.As((&server.ErrorInfo{Kind: server.KindInternal, Op: "x"}).Err(), &ie) {
+		t.Error("wire internal error is not a facade *InternalError")
+	}
+}

@@ -39,6 +39,16 @@ const (
 	// KindSlowWorker sleeps at every Nth scheduler task (exercises the
 	// scheduler under pathological load imbalance).
 	KindSlowWorker
+	// KindPanicJob panics inside the daemon's per-job execution fence at the
+	// Nth job start (exercises fleet-level panic containment: one poisoned
+	// job must not kill the serving workers).
+	KindPanicJob
+	// KindJournalFail makes the daemon's job-journal append fail at the Nth
+	// write (exercises accepted-job durability under storage faults).
+	KindJournalFail
+	// KindSlowTenant delays every job of one tenant (exercises fair-share
+	// scheduling: a slow tenant must not starve the others).
+	KindSlowTenant
 
 	numKinds
 )
@@ -53,6 +63,12 @@ func (k Kind) String() string {
 		return "exhaust-budget"
 	case KindSlowWorker:
 		return "slow-worker"
+	case KindPanicJob:
+		return "panic-job"
+	case KindJournalFail:
+		return "journal-fail"
+	case KindSlowTenant:
+		return "slow-tenant"
 	}
 	return fmt.Sprintf("Kind(%d)", uint8(k))
 }
@@ -85,6 +101,21 @@ type Config struct {
 	SlowEveryNthTask int64
 	// SlowDelay is the KindSlowWorker sleep (default 1ms when unset).
 	SlowDelay time.Duration
+
+	// Server-path injection points (daemon robustness scenarios).
+
+	// PanicAtJob fires KindPanicJob at the Nth JobStart hook hit (1-based;
+	// 0 disables).
+	PanicAtJob int64
+	// JournalFailAt makes the Nth JournalWrite hook return an error
+	// (1-based; 0 disables). When JournalFailAll is also set, every write
+	// from the Nth on fails — a dead disk rather than a transient fault.
+	JournalFailAt  int64
+	JournalFailAll bool
+	// SlowTenant delays every job of this tenant by SlowTenantDelay
+	// (default 1ms when unset). Empty disables.
+	SlowTenant      string
+	SlowTenantDelay time.Duration
 }
 
 // Plan is an activated injection schedule with its live trigger counters.
@@ -196,6 +227,51 @@ func Delay() {
 		p.fired[KindSlowWorker].Add(1)
 		time.Sleep(p.cfg.SlowDelay)
 	}
+}
+
+// JobStart is called by the daemon's worker fence as a job enters
+// execution. Under KindPanicJob it panics with *Injected at the configured
+// hit; under KindSlowTenant it sleeps when the job belongs to the slow
+// tenant.
+func JobStart(tenant string) {
+	p := active.Load()
+	if p == nil {
+		return
+	}
+	n := p.hits[KindPanicJob].Add(1)
+	if want := p.cfg.PanicAtJob; want > 0 && n == want {
+		p.fired[KindPanicJob].Add(1)
+		panic(&Injected{Kind: KindPanicJob, N: n})
+	}
+	if p.cfg.SlowTenant != "" && tenant == p.cfg.SlowTenant {
+		p.hits[KindSlowTenant].Add(1)
+		p.fired[KindSlowTenant].Add(1)
+		d := p.cfg.SlowTenantDelay
+		if d == 0 {
+			d = time.Millisecond
+		}
+		time.Sleep(d)
+	}
+}
+
+// JournalWrite is called by the daemon's job journal before every append.
+// Under KindJournalFail it returns *Injected (as an error) at the
+// configured hit — and at every later hit when JournalFailAll is set.
+func JournalWrite() error {
+	p := active.Load()
+	if p == nil {
+		return nil
+	}
+	want := p.cfg.JournalFailAt
+	if want <= 0 {
+		return nil
+	}
+	n := p.hits[KindJournalFail].Add(1)
+	if n == want || (p.cfg.JournalFailAll && n > want) {
+		p.fired[KindJournalFail].Add(1)
+		return &Injected{Kind: KindJournalFail, N: n}
+	}
+	return nil
 }
 
 // RandomizedConfig derives a deterministic pseudo-random plan from seed: a

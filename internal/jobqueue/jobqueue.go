@@ -1,0 +1,323 @@
+// Package jobqueue is the admission and scheduling layer of the synthesis
+// daemon: a bounded, tenant-fair priority queue. Admission control happens
+// at Enqueue — capacity bounds, per-tenant queue quotas and per-tenant
+// token-bucket rate limits all reject with a *RejectError carrying a
+// suggested Retry-After, so the HTTP layer can shed load instead of
+// buffering it. Scheduling happens at Dequeue: among tenants with runnable
+// jobs the one with the least work served so far goes first (fair share),
+// within a tenant higher priority goes first, and within a priority FIFO
+// order is kept. Ties break on tenant name, so the schedule is deterministic
+// given the arrival order.
+package jobqueue
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Config bounds the queue. Zero values select the defaults noted per field.
+type Config struct {
+	// Capacity bounds the total number of queued (not yet dequeued) jobs
+	// across all tenants (default 256).
+	Capacity int
+	// PerTenant bounds the queued jobs of one tenant (default Capacity).
+	PerTenant int
+	// RatePerSec is the per-tenant token-bucket refill rate in jobs per
+	// second (0 = no rate limit).
+	RatePerSec float64
+	// Burst is the token-bucket depth (default 1 when RatePerSec > 0).
+	Burst int
+	// Now overrides the clock (tests); nil means time.Now.
+	Now func() time.Time
+}
+
+func (c Config) fill() Config {
+	if c.Capacity <= 0 {
+		c.Capacity = 256
+	}
+	if c.PerTenant <= 0 {
+		c.PerTenant = c.Capacity
+	}
+	if c.RatePerSec > 0 && c.Burst <= 0 {
+		c.Burst = 1
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+	return c
+}
+
+// Reason classifies one admission rejection.
+type Reason string
+
+// Rejection reasons.
+const (
+	// ReasonQueueFull: the queue's total capacity is exhausted.
+	ReasonQueueFull Reason = "queue-full"
+	// ReasonTenantQuota: the tenant's queued-job quota is exhausted.
+	ReasonTenantQuota Reason = "tenant-quota"
+	// ReasonRateLimited: the tenant's token bucket is empty.
+	ReasonRateLimited Reason = "rate-limited"
+	// ReasonClosed: the queue is draining and admits nothing.
+	ReasonClosed Reason = "draining"
+)
+
+// RejectError is an admission refusal. RetryAfter is the suggested backoff
+// before the caller tries again (how long until a token refills for
+// rate-limited rejections; a heuristic for full queues; 0 for a draining
+// queue, which will not come back).
+type RejectError struct {
+	Reason     Reason
+	Tenant     string
+	RetryAfter time.Duration
+}
+
+func (e *RejectError) Error() string {
+	return fmt.Sprintf("jobqueue: %s rejected for tenant %q (retry after %v)", e.Reason, e.Tenant, e.RetryAfter)
+}
+
+// Item is one queued job as handed to Dequeue.
+type Item struct {
+	Seq      uint64 // admission order, unique per queue
+	Tenant   string
+	Priority int // higher runs first within a tenant
+	Payload  any
+}
+
+// tenantState is one tenant's book-keeping: its runnable items, its token
+// bucket and its fair-share accounting.
+type tenantState struct {
+	name  string
+	items []*Item // kept sorted: higher priority first, then FIFO
+
+	// served counts the jobs this tenant has had dequeued; the fair-share
+	// pick takes the tenant with the smallest served among those with
+	// runnable work, so a backlogged tenant cannot starve a light one.
+	served int
+
+	// Token bucket (RatePerSec/Burst); tokens is a float so fractional
+	// refill accumulates precisely.
+	tokens   float64
+	lastFill time.Time
+}
+
+// Queue is the admission-controlled, tenant-fair job queue. Safe for
+// concurrent use.
+type Queue struct {
+	cfg Config
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	tenants map[string]*tenantState
+	queued  int
+	nextSeq uint64
+	closed  bool
+
+	// Lifetime counters (see Stats).
+	accepted uint64
+	rejected map[Reason]uint64
+	dequeued uint64
+}
+
+// New returns an empty queue.
+func New(cfg Config) *Queue {
+	q := &Queue{
+		cfg:      cfg.fill(),
+		tenants:  map[string]*tenantState{},
+		rejected: map[Reason]uint64{},
+	}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// Enqueue admits one job or rejects it with a *RejectError. seq is the
+// admission sequence number (unique, increasing).
+func (q *Queue) Enqueue(tenant string, priority int, payload any) (seq uint64, err error) {
+	return q.enqueue(tenant, priority, payload, true)
+}
+
+// EnqueueExempt is Enqueue without the rate limit — capacity and tenant
+// quotas still apply. The daemon uses it to re-admit journal-recovered jobs
+// at restart: they already spent a token when first accepted.
+func (q *Queue) EnqueueExempt(tenant string, priority int, payload any) (seq uint64, err error) {
+	return q.enqueue(tenant, priority, payload, false)
+}
+
+func (q *Queue) enqueue(tenant string, priority int, payload any, rated bool) (seq uint64, err error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		q.rejected[ReasonClosed]++
+		return 0, &RejectError{Reason: ReasonClosed, Tenant: tenant}
+	}
+	if q.queued >= q.cfg.Capacity {
+		q.rejected[ReasonQueueFull]++
+		return 0, &RejectError{Reason: ReasonQueueFull, Tenant: tenant, RetryAfter: time.Second}
+	}
+	ts := q.tenant(tenant)
+	if len(ts.items) >= q.cfg.PerTenant {
+		q.rejected[ReasonTenantQuota]++
+		return 0, &RejectError{Reason: ReasonTenantQuota, Tenant: tenant, RetryAfter: time.Second}
+	}
+	if rated && q.cfg.RatePerSec > 0 {
+		now := q.cfg.Now()
+		ts.refill(now, q.cfg)
+		if ts.tokens < 1 {
+			wait := time.Duration(float64(time.Second) * (1 - ts.tokens) / q.cfg.RatePerSec)
+			q.rejected[ReasonRateLimited]++
+			return 0, &RejectError{Reason: ReasonRateLimited, Tenant: tenant, RetryAfter: wait}
+		}
+		ts.tokens--
+	}
+	q.nextSeq++
+	it := &Item{Seq: q.nextSeq, Tenant: tenant, Priority: priority, Payload: payload}
+	// Insert keeping the bucket sorted by (priority desc, seq asc). Bulk
+	// arrivals are appended near the tail, so the scan is short in practice.
+	pos := len(ts.items)
+	for pos > 0 && ts.items[pos-1].Priority < priority {
+		pos--
+	}
+	ts.items = append(ts.items, nil)
+	copy(ts.items[pos+1:], ts.items[pos:])
+	ts.items[pos] = it
+	q.queued++
+	q.accepted++
+	q.cond.Signal()
+	return it.Seq, nil
+}
+
+// Dequeue blocks until a job is runnable (fair-share pick), the context is
+// done, or the queue is closed and empty. ok is false in the latter two
+// cases.
+func (q *Queue) Dequeue(ctx context.Context) (item *Item, ok bool) {
+	// Wake the cond wait when the context fires; stopped on return.
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if done := ctx.Done(); done != nil {
+		stop := make(chan struct{})
+		defer close(stop)
+		go func() {
+			select {
+			case <-done:
+				q.cond.Broadcast()
+			case <-stop:
+			}
+		}()
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for {
+		if ctx.Err() != nil {
+			return nil, false
+		}
+		if ts := q.pickLocked(); ts != nil {
+			it := ts.items[0]
+			copy(ts.items, ts.items[1:])
+			ts.items = ts.items[:len(ts.items)-1]
+			ts.served++
+			q.queued--
+			q.dequeued++
+			return it, true
+		}
+		if q.closed {
+			return nil, false
+		}
+		q.cond.Wait()
+	}
+}
+
+// pickLocked selects the tenant to serve next: least served first, tenant
+// name as the deterministic tie-break.
+func (q *Queue) pickLocked() *tenantState {
+	var best *tenantState
+	for _, ts := range q.tenants {
+		if len(ts.items) == 0 {
+			continue
+		}
+		if best == nil || ts.served < best.served || (ts.served == best.served && ts.name < best.name) {
+			best = ts
+		}
+	}
+	return best
+}
+
+// Close stops admission (Enqueue rejects with ReasonClosed) and lets
+// Dequeue drain the remaining items; once empty, Dequeue returns ok=false.
+func (q *Queue) Close() {
+	q.mu.Lock()
+	q.closed = true
+	q.mu.Unlock()
+	q.cond.Broadcast()
+}
+
+// Len reports the queued (admitted, not yet dequeued) job count.
+func (q *Queue) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.queued
+}
+
+// TenantStats is one tenant's accounting snapshot.
+type TenantStats struct {
+	Tenant string `json:"tenant"`
+	Queued int    `json:"queued"`
+	Served int    `json:"served"`
+}
+
+// Stats is a queue accounting snapshot.
+type Stats struct {
+	Queued   int               `json:"queued"`
+	Accepted uint64            `json:"accepted"`
+	Dequeued uint64            `json:"dequeued"`
+	Rejected map[Reason]uint64 `json:"rejected"`
+	Tenants  []TenantStats     `json:"tenants"`
+}
+
+// Stats snapshots the queue's accounting (tenants sorted by name).
+func (q *Queue) Stats() Stats {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	s := Stats{
+		Queued:   q.queued,
+		Accepted: q.accepted,
+		Dequeued: q.dequeued,
+		Rejected: map[Reason]uint64{},
+	}
+	for r, n := range q.rejected {
+		s.Rejected[r] = n
+	}
+	for _, ts := range q.tenants {
+		if len(ts.items) == 0 && ts.served == 0 {
+			continue
+		}
+		s.Tenants = append(s.Tenants, TenantStats{Tenant: ts.name, Queued: len(ts.items), Served: ts.served})
+	}
+	sort.Slice(s.Tenants, func(i, j int) bool { return s.Tenants[i].Tenant < s.Tenants[j].Tenant })
+	return s
+}
+
+func (q *Queue) tenant(name string) *tenantState {
+	ts := q.tenants[name]
+	if ts == nil {
+		ts = &tenantState{name: name, tokens: float64(q.cfg.Burst), lastFill: q.cfg.Now()}
+		q.tenants[name] = ts
+	}
+	return ts
+}
+
+// refill tops the token bucket up for the time elapsed since the last fill.
+func (ts *tenantState) refill(now time.Time, cfg Config) {
+	dt := now.Sub(ts.lastFill).Seconds()
+	if dt <= 0 {
+		return
+	}
+	ts.lastFill = now
+	ts.tokens += dt * cfg.RatePerSec
+	if max := float64(cfg.Burst); ts.tokens > max {
+		ts.tokens = max
+	}
+}

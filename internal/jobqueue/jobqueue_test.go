@@ -1,0 +1,222 @@
+package jobqueue
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func drainOrder(t *testing.T, q *Queue, n int) []*Item {
+	t.Helper()
+	var out []*Item
+	for i := 0; i < n; i++ {
+		it, ok := q.Dequeue(context.Background())
+		if !ok {
+			t.Fatalf("dequeue %d: queue closed early", i)
+		}
+		out = append(out, it)
+	}
+	return out
+}
+
+// Fair share: a tenant with a deep backlog must not starve a light one —
+// service alternates until the light tenant is drained.
+func TestFairShareAcrossTenants(t *testing.T) {
+	q := New(Config{Capacity: 64})
+	for i := 0; i < 6; i++ {
+		if _, err := q.Enqueue("heavy", 0, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := q.Enqueue("light", 0, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := drainOrder(t, q, 8)
+	var tenants []string
+	for _, it := range got {
+		tenants = append(tenants, it.Tenant)
+	}
+	// served counts tie-break on name: heavy, light alternate, then heavy only.
+	want := []string{"heavy", "light", "heavy", "light", "heavy", "heavy", "heavy", "heavy"}
+	for i := range want {
+		if tenants[i] != want[i] {
+			t.Fatalf("service order %v, want %v", tenants, want)
+		}
+	}
+}
+
+// Within a tenant, higher priority first; FIFO within a priority.
+func TestPriorityWithinTenant(t *testing.T) {
+	q := New(Config{})
+	seqs := map[int]uint64{}
+	for i, prio := range []int{0, 5, 1, 5, 0} {
+		s, err := q.Enqueue("t", prio, i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seqs[i] = s
+	}
+	got := drainOrder(t, q, 5)
+	want := []int{1, 3, 2, 0, 4} // payloads: prio 5 FIFO, then 1, then 0 FIFO
+	for i, it := range got {
+		if it.Payload.(int) != want[i] {
+			t.Fatalf("dequeue order payloads %v, want %v", payloads(got), want)
+		}
+	}
+	if seqs[0] >= seqs[1] {
+		t.Fatalf("sequence numbers must increase with admission order")
+	}
+}
+
+func payloads(items []*Item) []int {
+	out := make([]int, len(items))
+	for i, it := range items {
+		out[i] = it.Payload.(int)
+	}
+	return out
+}
+
+func TestCapacityAndTenantQuota(t *testing.T) {
+	q := New(Config{Capacity: 3, PerTenant: 2})
+	mustOK := func(tenant string) {
+		t.Helper()
+		if _, err := q.Enqueue(tenant, 0, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustOK("a")
+	mustOK("a")
+	_, err := q.Enqueue("a", 0, nil)
+	var rej *RejectError
+	if !errors.As(err, &rej) || rej.Reason != ReasonTenantQuota {
+		t.Fatalf("tenant over quota: got %v, want ReasonTenantQuota", err)
+	}
+	mustOK("b")
+	_, err = q.Enqueue("c", 0, nil)
+	if !errors.As(err, &rej) || rej.Reason != ReasonQueueFull {
+		t.Fatalf("queue full: got %v, want ReasonQueueFull", err)
+	}
+	if rej.RetryAfter <= 0 {
+		t.Fatalf("full-queue rejection must carry a positive RetryAfter, got %v", rej.RetryAfter)
+	}
+}
+
+func TestRateLimitWithRetryAfter(t *testing.T) {
+	now := time.Unix(0, 0)
+	q := New(Config{RatePerSec: 2, Burst: 2, Now: func() time.Time { return now }})
+	for i := 0; i < 2; i++ {
+		if _, err := q.Enqueue("t", 0, nil); err != nil {
+			t.Fatalf("burst enqueue %d: %v", i, err)
+		}
+	}
+	_, err := q.Enqueue("t", 0, nil)
+	var rej *RejectError
+	if !errors.As(err, &rej) || rej.Reason != ReasonRateLimited {
+		t.Fatalf("got %v, want ReasonRateLimited", err)
+	}
+	if rej.RetryAfter <= 0 || rej.RetryAfter > time.Second {
+		t.Fatalf("retry-after %v out of range (rate 2/s)", rej.RetryAfter)
+	}
+	// Tokens refill with the clock: half a second buys one job at 2/s.
+	now = now.Add(500 * time.Millisecond)
+	if _, err := q.Enqueue("t", 0, nil); err != nil {
+		t.Fatalf("after refill: %v", err)
+	}
+}
+
+// Close stops admission but lets queued items drain.
+func TestCloseDrains(t *testing.T) {
+	q := New(Config{})
+	if _, err := q.Enqueue("t", 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	q.Close()
+	var rej *RejectError
+	if _, err := q.Enqueue("t", 0, 2); !errors.As(err, &rej) || rej.Reason != ReasonClosed {
+		t.Fatalf("enqueue after close: got %v, want ReasonClosed", err)
+	}
+	if it, ok := q.Dequeue(context.Background()); !ok || it.Payload.(int) != 1 {
+		t.Fatalf("close must drain queued items, got %v ok=%v", it, ok)
+	}
+	if _, ok := q.Dequeue(context.Background()); ok {
+		t.Fatal("dequeue on closed empty queue must report ok=false")
+	}
+}
+
+func TestDequeueContextCancel(t *testing.T) {
+	q := New(Config{})
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan bool, 1)
+	go func() {
+		_, ok := q.Dequeue(ctx)
+		done <- ok
+	}()
+	cancel()
+	select {
+	case ok := <-done:
+		if ok {
+			t.Fatal("cancelled dequeue must report ok=false")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancelled dequeue did not return")
+	}
+}
+
+// Concurrent producers and consumers under -race: every accepted item is
+// dequeued exactly once.
+func TestConcurrentProducersConsumers(t *testing.T) {
+	q := New(Config{Capacity: 1 << 14})
+	const producers, perProducer, consumers = 8, 200, 4
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				if _, err := q.Enqueue("t"+string(rune('a'+p%3)), i%3, p*perProducer+i); err != nil {
+					t.Errorf("enqueue: %v", err)
+					return
+				}
+			}
+		}(p)
+	}
+	seen := make(chan int, producers*perProducer)
+	var cg sync.WaitGroup
+	for c := 0; c < consumers; c++ {
+		cg.Add(1)
+		go func() {
+			defer cg.Done()
+			for {
+				it, ok := q.Dequeue(context.Background())
+				if !ok {
+					return
+				}
+				seen <- it.Payload.(int)
+			}
+		}()
+	}
+	wg.Wait()
+	q.Close()
+	cg.Wait()
+	close(seen)
+	got := map[int]int{}
+	for v := range seen {
+		got[v]++
+	}
+	if len(got) != producers*perProducer {
+		t.Fatalf("dequeued %d distinct items, want %d", len(got), producers*perProducer)
+	}
+	for v, n := range got {
+		if n != 1 {
+			t.Fatalf("item %d dequeued %d times", v, n)
+		}
+	}
+	st := q.Stats()
+	if st.Accepted != producers*perProducer || st.Dequeued != st.Accepted || st.Queued != 0 {
+		t.Fatalf("stats %+v inconsistent with full drain", st)
+	}
+}

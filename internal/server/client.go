@@ -1,0 +1,276 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Client talks to a turbosynd daemon. Submit retries admission rejections
+// (429/503) and transport failures with jittered exponential backoff,
+// honoring the server's Retry-After; status and result reads retry only on
+// transport failures. The zero value is not usable — construct with
+// NewClient.
+type Client struct {
+	// Base is the daemon's base URL, e.g. "http://localhost:8787".
+	Base string
+	// Tenant is stamped on submissions that do not carry one.
+	Tenant string
+	// HTTPClient defaults to a client with a sane overall timeout.
+	HTTPClient *http.Client
+	// MaxAttempts bounds Submit's tries (default 8).
+	MaxAttempts int
+	// BaseBackoff is the first retry delay (default 100ms); backoff doubles
+	// per attempt, jittered ±50%, capped at 5s. A server Retry-After
+	// overrides the computed delay when longer.
+	BaseBackoff time.Duration
+
+	mu      sync.Mutex
+	rng     *rand.Rand
+	retries atomic.Int64
+}
+
+// Retries reports how many shed-load or transport retries Submit has
+// performed over the client's lifetime (load-harness accounting).
+func (c *Client) Retries() int64 { return c.retries.Load() }
+
+// NewClient returns a client for the daemon at base.
+func NewClient(base, tenant string) *Client {
+	return &Client{
+		Base:        base,
+		Tenant:      tenant,
+		HTTPClient:  &http.Client{Timeout: 30 * time.Second},
+		MaxAttempts: 8,
+		BaseBackoff: 100 * time.Millisecond,
+		rng:         rand.New(rand.NewSource(time.Now().UnixNano())),
+	}
+}
+
+// RejectedError is an admission rejection that exhausted the client's
+// retries.
+type RejectedError struct {
+	Status  int
+	Message string
+}
+
+func (e *RejectedError) Error() string {
+	return fmt.Sprintf("turbosynd: rejected (%d) after retries: %s", e.Status, e.Message)
+}
+
+// Submit posts the job and returns its id, retrying shed load with
+// backoff.
+func (c *Client) Submit(ctx context.Context, spec JobSpec) (string, error) {
+	if spec.Tenant == "" {
+		spec.Tenant = c.Tenant
+	}
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return "", err
+	}
+	attempts := c.MaxAttempts
+	if attempts <= 0 {
+		attempts = 8
+	}
+	var lastErr error
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 {
+			c.retries.Add(1)
+			if err := c.sleep(ctx, c.backoff(attempt, lastErr)); err != nil {
+				return "", err
+			}
+		}
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.Base+"/jobs", bytes.NewReader(body))
+		if err != nil {
+			return "", err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := c.httpClient().Do(req)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		switch resp.StatusCode {
+		case http.StatusAccepted:
+			var out struct {
+				ID string `json:"id"`
+			}
+			err := json.NewDecoder(resp.Body).Decode(&out)
+			resp.Body.Close()
+			if err != nil {
+				return "", err
+			}
+			return out.ID, nil
+		case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+			msg := readError(resp)
+			lastErr = &retryAfterError{
+				err:   &RejectedError{Status: resp.StatusCode, Message: msg},
+				after: parseRetryAfter(resp),
+			}
+			continue
+		default:
+			msg := readError(resp)
+			return "", fmt.Errorf("turbosynd: submit failed (%d): %s", resp.StatusCode, msg)
+		}
+	}
+	if ra, ok := lastErr.(*retryAfterError); ok {
+		return "", ra.err
+	}
+	return "", fmt.Errorf("turbosynd: submit failed after %d attempts: %w", attempts, lastErr)
+}
+
+// Status fetches the job's status document.
+func (c *Client) Status(ctx context.Context, id string) (*JobStatus, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+"/jobs/"+id, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("turbosynd: status %s: %d: %s", id, resp.StatusCode, readError(resp))
+	}
+	var st JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// Wait polls until the job reaches a terminal state (or ctx expires).
+func (c *Client) Wait(ctx context.Context, id string, poll time.Duration) (*JobStatus, error) {
+	if poll <= 0 {
+		poll = 100 * time.Millisecond
+	}
+	for {
+		st, err := c.Status(ctx, id)
+		if err != nil {
+			return nil, err
+		}
+		if st.State.Terminal() {
+			return st, nil
+		}
+		if err := c.sleep(ctx, poll); err != nil {
+			return nil, err
+		}
+	}
+}
+
+// Result fetches a finished job's netlist (BLIF bytes).
+func (c *Client) Result(ctx context.Context, id string) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+"/jobs/"+id+"/result", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("turbosynd: result %s: %d: %s", id, resp.StatusCode, readError(resp))
+	}
+	return io.ReadAll(resp.Body)
+}
+
+// Run submits the job, waits for it, and — on success — fetches the
+// netlist. A failed job returns the status (with its typed error) and a
+// non-nil error raised from the wire taxonomy.
+func (c *Client) Run(ctx context.Context, spec JobSpec) (*JobStatus, []byte, error) {
+	id, err := c.Submit(ctx, spec)
+	if err != nil {
+		return nil, nil, err
+	}
+	st, err := c.Wait(ctx, id, 0)
+	if err != nil {
+		return nil, nil, err
+	}
+	if st.State != StateDone {
+		return st, nil, st.Err()
+	}
+	blif, err := c.Result(ctx, id)
+	if err != nil {
+		return st, nil, err
+	}
+	return st, blif, nil
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+// backoff computes the attempt's delay: exponential from BaseBackoff,
+// jittered ±50%, capped at 5s — and never below the server's Retry-After.
+func (c *Client) backoff(attempt int, lastErr error) time.Duration {
+	base := c.BaseBackoff
+	if base <= 0 {
+		base = 100 * time.Millisecond
+	}
+	d := base << uint(attempt-1)
+	if d > 5*time.Second {
+		d = 5 * time.Second
+	}
+	c.mu.Lock()
+	if c.rng == nil {
+		c.rng = rand.New(rand.NewSource(time.Now().UnixNano()))
+	}
+	jitter := 0.5 + c.rng.Float64() // ×[0.5, 1.5)
+	c.mu.Unlock()
+	d = time.Duration(float64(d) * jitter)
+	if ra, ok := lastErr.(*retryAfterError); ok && ra.after > d {
+		d = ra.after
+	}
+	return d
+}
+
+func (c *Client) sleep(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+type retryAfterError struct {
+	err   error
+	after time.Duration
+}
+
+func (e *retryAfterError) Error() string { return e.err.Error() }
+
+func parseRetryAfter(resp *http.Response) time.Duration {
+	if s := resp.Header.Get("Retry-After"); s != "" {
+		if secs, err := strconv.Atoi(s); err == nil && secs >= 0 {
+			return time.Duration(secs) * time.Second
+		}
+	}
+	return 0
+}
+
+func readError(resp *http.Response) string {
+	defer resp.Body.Close()
+	var out struct {
+		Error string `json:"error"`
+	}
+	data, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	if json.Unmarshal(data, &out) == nil && out.Error != "" {
+		return out.Error
+	}
+	return string(data)
+}

@@ -1,0 +1,128 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"turbosyn/internal/core"
+)
+
+// ErrorKind classifies a job failure for clients. The taxonomy mirrors the
+// engine's structured errors (DESIGN.md §7) plus the serving layer's own
+// failure modes, and each kind carries a fixed retryable verdict so clients
+// can discriminate transient from permanent failures without string
+// matching.
+type ErrorKind string
+
+// Failure kinds, as encoded in job-result JSON.
+const (
+	// KindCancel: the job was aborted — per-job timeout, client cancel, or
+	// daemon drain cancelling in-flight work. Retryable.
+	KindCancel ErrorKind = "cancel"
+	// KindBudget: a resource budget tripped under Strict mode. Not
+	// retryable as submitted (the same budget trips again); resubmit with a
+	// larger budget or without Strict.
+	KindBudget ErrorKind = "budget"
+	// KindInternal: a panic contained at a worker or job boundary. Not
+	// retryable (the fault is deterministic for the same input).
+	KindInternal ErrorKind = "internal"
+	// KindInvalid: the job spec was unusable — malformed BLIF, unknown
+	// generator, bad options. Not retryable.
+	KindInvalid ErrorKind = "invalid"
+	// KindShed: the daemon gave the job up unstarted (drain deadline hit
+	// while it was still queued, or recovery could not resume it).
+	// Retryable against a live daemon.
+	KindShed ErrorKind = "shed"
+)
+
+// ErrorInfo is the JSON encoding of one job failure. It round-trips the
+// engine's typed errors: Encode lowers *core.CancelError /
+// *core.BudgetError / *core.InternalError into it, and Err raises it back
+// into the same types, so errors.Is/As work identically on the client side
+// of the wire (see TestErrorTaxonomyJSONRoundTrip).
+type ErrorInfo struct {
+	Kind      ErrorKind `json:"kind"`
+	Message   string    `json:"message"`
+	Retryable bool      `json:"retryable"`
+
+	// Cancel detail.
+	Phase   string `json:"phase,omitempty"`
+	BestPhi int    `json:"best_phi,omitempty"`
+	Timeout bool   `json:"timeout,omitempty"` // deadline rather than explicit cancel
+
+	// Budget detail.
+	Resource string `json:"resource,omitempty"`
+	Limit    int    `json:"limit,omitempty"`
+	Node     int    `json:"node,omitempty"`
+
+	// Internal detail.
+	Op string `json:"op,omitempty"`
+}
+
+// EncodeError lowers err into the wire taxonomy. Unrecognized errors encode
+// as KindInternal with their message.
+func EncodeError(err error) *ErrorInfo {
+	var ce *core.CancelError
+	if errors.As(err, &ce) {
+		return &ErrorInfo{
+			Kind: KindCancel, Message: err.Error(), Retryable: true,
+			Phase: ce.Phase, BestPhi: ce.BestPhi,
+			Timeout: errors.Is(ce.Err, context.DeadlineExceeded),
+		}
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return &ErrorInfo{
+			Kind: KindCancel, Message: err.Error(), Retryable: true,
+			Timeout: errors.Is(err, context.DeadlineExceeded),
+		}
+	}
+	var be *core.BudgetError
+	if errors.As(err, &be) {
+		return &ErrorInfo{
+			Kind: KindBudget, Message: err.Error(),
+			Resource: be.Resource, Limit: be.Limit, Node: be.Node,
+		}
+	}
+	var ie *core.InternalError
+	if errors.As(err, &ie) {
+		return &ErrorInfo{Kind: KindInternal, Message: err.Error(), Op: ie.Op, Phase: ie.Phase}
+	}
+	return &ErrorInfo{Kind: KindInternal, Message: err.Error()}
+}
+
+// invalidError builds the KindInvalid info for an unusable job spec.
+func invalidError(err error) *ErrorInfo {
+	return &ErrorInfo{Kind: KindInvalid, Message: err.Error()}
+}
+
+// shedError builds the KindShed info.
+func shedError(why string) *ErrorInfo {
+	return &ErrorInfo{Kind: KindShed, Message: why, Retryable: true}
+}
+
+// Err raises the wire encoding back into the engine's typed errors, so
+// client-side errors.Is/As see the same types a local run would return:
+// KindCancel becomes a *core.CancelError wrapping context.Canceled or
+// DeadlineExceeded, KindBudget a *core.BudgetError, KindInternal a
+// *core.InternalError. KindInvalid and KindShed have no engine counterpart
+// and surface as plain errors. A nil ErrorInfo is no error.
+func (e *ErrorInfo) Err() error {
+	if e == nil {
+		return nil
+	}
+	switch e.Kind {
+	case KindCancel:
+		cause := context.Canceled
+		if e.Timeout {
+			cause = context.DeadlineExceeded
+		}
+		return &core.CancelError{Phase: e.Phase, BestPhi: e.BestPhi, Err: cause}
+	case KindBudget:
+		return &core.BudgetError{Resource: e.Resource, Limit: e.Limit, Node: e.Node}
+	case KindInternal:
+		return &core.InternalError{Op: e.Op, Phase: e.Phase, Comp: -1, Node: -1, Value: e.Message}
+	default:
+		return fmt.Errorf("turbosynd: %s: %s", e.Kind, e.Message)
+	}
+}

@@ -1,0 +1,208 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"turbosyn/internal/jobqueue"
+)
+
+// maxBody bounds one submission body (a BLIF upload dominates).
+const maxBody = 16 << 20
+
+// Handler returns the daemon's HTTP API:
+//
+//	POST /jobs               submit a job (JobSpec JSON) -> 202 {"id": ...}
+//	GET  /jobs               list job statuses (?tenant= filters)
+//	GET  /jobs/{id}          job status (JobStatus JSON)
+//	GET  /jobs/{id}/result   finished netlist (BLIF text)
+//	GET  /jobs/{id}/progress NDJSON progress stream until terminal
+//	GET  /healthz            {"status": "ok" | "draining"}
+//	GET  /statz              daemon + queue accounting (Stats JSON)
+//	GET  /metrics            Prometheus text exposition
+//
+// Admission rejections answer 429 (over capacity/quota/rate/memory) or 503
+// (draining, journal unavailable), both with a Retry-After header.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /jobs", s.handleSubmit)
+	mux.HandleFunc("GET /jobs", s.handleList)
+	mux.HandleFunc("GET /jobs/{id}", s.handleStatus)
+	mux.HandleFunc("GET /jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("GET /jobs/{id}/progress", s.handleProgress)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /statz", s.handleStatz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec JobSpec
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBody))
+	if err := dec.Decode(&spec); err != nil {
+		httpError(w, http.StatusBadRequest, "bad job spec: "+err.Error())
+		return
+	}
+	job, err := s.Submit(spec)
+	if err != nil {
+		var rej *jobqueue.RejectError
+		if errors.As(err, &rej) {
+			status := http.StatusTooManyRequests
+			retry := rej.RetryAfter
+			if rej.Reason == jobqueue.ReasonClosed {
+				status = http.StatusServiceUnavailable
+				retry = time.Second
+			}
+			w.Header().Set("Retry-After", strconv.Itoa(int((retry + time.Second - 1) / time.Second)))
+			httpError(w, status, err.Error())
+			return
+		}
+		// Journal unavailable: refuse with 503 so clients back off and retry.
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusServiceUnavailable, err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusAccepted)
+	json.NewEncoder(w).Encode(map[string]string{"id": job.ID})
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	jobs := s.Jobs(r.URL.Query().Get("tenant"))
+	out := make([]JobStatus, 0, len(jobs))
+	for _, j := range jobs {
+		out = append(out, j.Status())
+	}
+	writeJSON(w, out)
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	writeJSON(w, job.Status())
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	blif, ok := job.resultBytes()
+	if !ok {
+		st := job.Status()
+		if st.State == StateFailed || st.State == StateShed {
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusConflict)
+			json.NewEncoder(w).Encode(st)
+			return
+		}
+		httpError(w, http.StatusConflict, fmt.Sprintf("job is %s; result not ready", st.State))
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.Write(blif)
+}
+
+// handleProgress streams the job's status as newline-delimited JSON: one
+// line per poll tick while the job runs, and a final line once it reaches a
+// terminal state. The interval comes from ?interval_ms (default 200,
+// clamped to [50, 5000]).
+func (s *Server) handleProgress(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	interval := 200 * time.Millisecond
+	if ms, err := strconv.Atoi(r.URL.Query().Get("interval_ms")); err == nil {
+		interval = time.Duration(min(max(ms, 50), 5000)) * time.Millisecond
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		st := job.Status()
+		if err := enc.Encode(st); err != nil {
+			return
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		if st.State.Terminal() {
+			return
+		}
+		select {
+		case <-tick.C:
+		case <-job.done:
+			// Deliver the terminal line promptly instead of waiting a tick.
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	status := "ok"
+	if s.Draining() {
+		status = "draining"
+	}
+	writeJSON(w, map[string]string{"status": status})
+}
+
+func (s *Server) handleStatz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, s.Stats())
+}
+
+// handleMetrics writes the daemon counters in Prometheus text format
+// (gauge/counter semantics noted per series); per-run engine metrics remain
+// per-job via the progress endpoints.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	st := s.Stats()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	emit := func(name, typ, help string, v float64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %g\n", name, help, name, typ, name, v)
+	}
+	b := func(v bool) float64 {
+		if v {
+			return 1
+		}
+		return 0
+	}
+	emit("turbosynd_jobs_accepted_total", "counter", "jobs admitted", float64(st.Accepted))
+	emit("turbosynd_jobs_done_total", "counter", "jobs completed successfully", float64(st.Done))
+	emit("turbosynd_jobs_failed_total", "counter", "jobs failed (typed error)", float64(st.Failed))
+	emit("turbosynd_jobs_shed_total", "counter", "accepted jobs shed unstarted", float64(st.Shed))
+	emit("turbosynd_jobs_recovered_total", "counter", "jobs re-admitted from the journal", float64(st.Recovered))
+	emit("turbosynd_jobs_running", "gauge", "jobs currently executing", float64(st.Running))
+	emit("turbosynd_queue_depth", "gauge", "jobs queued awaiting a worker", float64(st.Queue.Queued))
+	emit("turbosynd_mem_reserved_bytes", "gauge", "summed arena reservations of admitted jobs", float64(st.MemReserved))
+	emit("turbosynd_draining", "gauge", "1 while the daemon refuses new work", b(st.Draining))
+	for _, reason := range []jobqueue.Reason{jobqueue.ReasonQueueFull, jobqueue.ReasonTenantQuota, jobqueue.ReasonRateLimited, jobqueue.ReasonClosed} {
+		fmt.Fprintf(w, "turbosynd_jobs_rejected_total{reason=%q} %d\n", string(reason), st.Queue.Rejected[reason])
+	}
+	for _, ts := range st.Queue.Tenants {
+		fmt.Fprintf(w, "turbosynd_tenant_served_total{tenant=%q} %d\n", ts.Tenant, ts.Served)
+		fmt.Fprintf(w, "turbosynd_tenant_queued{tenant=%q} %d\n", ts.Tenant, ts.Queued)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, status int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]string{"error": msg})
+}

@@ -1,0 +1,41 @@
+package server
+
+import (
+	"context"
+	"net"
+	"net/http"
+	"time"
+)
+
+// NewHTTPServer wraps a handler in an http.Server with the daemon's
+// listener hardening: a ReadHeaderTimeout so an idle or malicious
+// connection cannot pin a goroutine on headers forever, and bounded idle
+// keep-alives. Both cmd/turbosynd and cmd/turbosyn's -metrics-addr listener
+// use this scaffolding, so neither ships a bare http.ListenAndServe.
+func NewHTTPServer(addr string, h http.Handler) *http.Server {
+	return &http.Server{
+		Addr:              addr,
+		Handler:           h,
+		ReadHeaderTimeout: 5 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+}
+
+// ListenAndServeBackground binds the server's address, serves it on a
+// background goroutine, and returns the bound listener address (useful with
+// ":0") plus a shutdown function that stops accepting and waits for
+// in-flight requests up to the context's deadline. The onErr callback
+// receives a serve failure that happens after a successful bind (nil
+// disables).
+func ListenAndServeBackground(srv *http.Server, onErr func(error)) (addr net.Addr, shutdown func(context.Context) error, err error) {
+	ln, err := net.Listen("tcp", srv.Addr)
+	if err != nil {
+		return nil, nil, err
+	}
+	go func() {
+		if serr := srv.Serve(ln); serr != nil && serr != http.ErrServerClosed && onErr != nil {
+			onErr(serr)
+		}
+	}()
+	return ln.Addr(), srv.Shutdown, nil
+}

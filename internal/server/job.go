@@ -1,0 +1,320 @@
+package server
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"turbosyn"
+	"turbosyn/internal/bench"
+	"turbosyn/internal/netlist"
+	"turbosyn/internal/obs"
+)
+
+// State is one position in the job lifecycle FSM:
+//
+//	queued -> admitted -> running -> done | failed
+//	   \________________________________> shed
+//
+// (DESIGN.md §12 has the full diagram.) Terminal states are done, failed
+// and shed; shed is reached only from queued — a job the daemon gave up
+// without starting (drain deadline, unresumable recovery).
+type State string
+
+// Job states.
+const (
+	StateQueued   State = "queued"
+	StateAdmitted State = "admitted"
+	StateRunning  State = "running"
+	StateDone     State = "done"
+	StateFailed   State = "failed"
+	StateShed     State = "shed"
+)
+
+// Terminal reports whether s is a terminal state.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateShed
+}
+
+// JobSpec is the submission payload: who is asking (tenant, priority), what
+// to synthesize (an inline BLIF netlist or a generator spec — exactly one),
+// how (engine options), and a per-job timeout.
+type JobSpec struct {
+	Tenant   string `json:"tenant,omitempty"`   // default "anonymous"
+	Priority int    `json:"priority,omitempty"` // higher runs first within the tenant
+	// TimeoutMS bounds the job's run; 0 means the server default, and the
+	// server's MaxTimeout caps it either way.
+	TimeoutMS int            `json:"timeout_ms,omitempty"`
+	Options   JobOptions     `json:"options,omitempty"`
+	BLIF      string         `json:"blif,omitempty"`
+	Generator *GeneratorSpec `json:"generator,omitempty"`
+}
+
+// JobOptions is the JSON subset of turbosyn.Options a job may set. Worker
+// count is a server-side knob (fleet sizing), not a tenant one.
+type JobOptions struct {
+	K         int    `json:"k,omitempty"`         // LUT inputs (default 5)
+	Algorithm string `json:"algorithm,omitempty"` // turbosyn | turbomap | flowsyns
+	Objective string `json:"objective,omitempty"` // ratio | period
+	NoPack    bool   `json:"no_pack,omitempty"`
+	Mapped    bool   `json:"mapped,omitempty"` // return the mapped network, skip realization
+	Strict    bool   `json:"strict,omitempty"`
+	// Budgets (0 = server defaults; jobs may lower but not exceed the
+	// server's per-job arena reservation).
+	BDDNodeBudget   int `json:"bdd_node_budget,omitempty"`
+	RothKarpBudget  int `json:"rothkarp_budget,omitempty"`
+	ArenaByteBudget int `json:"arena_byte_budget,omitempty"`
+}
+
+// GeneratorSpec asks the daemon to synthesize one of the built-in benchmark
+// generators instead of an uploaded netlist.
+type GeneratorSpec struct {
+	// Kind selects the generator: "suite" (a named circuit of the 16-case
+	// evaluation suite), "fsm" (random machine from the parameters below),
+	// or "multicore" (the interleaved multi-core fabric).
+	Kind string `json:"kind"`
+	Name string `json:"name,omitempty"` // suite circuit name; also the .model name for fsm/multicore
+	Seed int64  `json:"seed,omitempty"`
+
+	// fsm parameters.
+	StateBits int  `json:"state_bits,omitempty"`
+	Inputs    int  `json:"inputs,omitempty"`
+	Outputs   int  `json:"outputs,omitempty"`
+	Cubes     int  `json:"cubes,omitempty"`
+	Span      int  `json:"span,omitempty"`
+	Mealy     bool `json:"mealy,omitempty"`
+
+	// multicore parameters.
+	Cores int `json:"cores,omitempty"`
+}
+
+// buildCircuit materializes the spec's netlist. Errors are KindInvalid
+// territory: the spec itself is unusable.
+func (s *JobSpec) buildCircuit() (*netlist.Circuit, error) {
+	switch {
+	case s.BLIF != "" && s.Generator != nil:
+		return nil, fmt.Errorf("job carries both a BLIF netlist and a generator spec; send exactly one")
+	case s.BLIF != "":
+		c, err := netlist.ReadBLIF(strings.NewReader(s.BLIF))
+		if err != nil {
+			return nil, fmt.Errorf("blif: %w", err)
+		}
+		return c, nil
+	case s.Generator != nil:
+		return s.Generator.build()
+	default:
+		return nil, fmt.Errorf("job carries neither a BLIF netlist nor a generator spec")
+	}
+}
+
+func (g *GeneratorSpec) build() (*netlist.Circuit, error) {
+	switch g.Kind {
+	case "suite":
+		for _, cs := range bench.Suite() {
+			if cs.Name == g.Name {
+				return cs.Circuit, nil
+			}
+		}
+		return nil, fmt.Errorf("generator: unknown suite circuit %q", g.Name)
+	case "fsm":
+		spec := bench.FSMSpec{
+			StateBits: g.StateBits, Inputs: g.Inputs, Outputs: g.Outputs,
+			Cubes: g.Cubes, Span: g.Span, Mealy: g.Mealy,
+		}
+		if spec.StateBits <= 0 || spec.Cubes <= 0 || spec.Span <= 0 {
+			return nil, fmt.Errorf("generator: fsm needs positive state_bits, cubes and span")
+		}
+		name := g.Name
+		if name == "" {
+			name = fmt.Sprintf("fsm-s%d", g.Seed)
+		}
+		rng := rand.New(rand.NewSource(g.Seed))
+		return bench.FSM(rng, name, spec), nil
+	case "multicore":
+		if g.Cores <= 0 || g.StateBits <= 0 {
+			return nil, fmt.Errorf("generator: multicore needs positive cores and state_bits")
+		}
+		name := g.Name
+		if name == "" {
+			name = fmt.Sprintf("multicore-%d", g.Cores)
+		}
+		cubes, span := g.Cubes, g.Span
+		if cubes <= 0 {
+			cubes = 6
+		}
+		if span <= 0 {
+			span = 6
+		}
+		return bench.MultiCore(name, bench.MultiCoreSpec{
+			Cores: g.Cores, StateBits: g.StateBits, Cubes: cubes, Span: span,
+		}), nil
+	default:
+		return nil, fmt.Errorf("generator: unknown kind %q (want suite, fsm or multicore)", g.Kind)
+	}
+}
+
+// engineOptions lowers the job options onto the server's engine defaults.
+func (s *JobSpec) engineOptions(cfg Config) (turbosyn.Options, error) {
+	o := turbosyn.Options{
+		K:              s.Options.K,
+		NoPack:         s.Options.NoPack,
+		NoRealize:      s.Options.Mapped,
+		Strict:         s.Options.Strict,
+		BDDNodeBudget:  s.Options.BDDNodeBudget,
+		RothKarpBudget: s.Options.RothKarpBudget,
+		Workers:        cfg.WorkersPerJob,
+		CacheDir:       cfg.CacheDir,
+	}
+	switch s.Options.Algorithm {
+	case "", "turbosyn":
+		o.Algorithm = turbosyn.TurboSYN
+	case "turbomap":
+		o.Algorithm = turbosyn.TurboMap
+	case "flowsyns":
+		o.Algorithm = turbosyn.FlowSYNS
+	default:
+		return o, fmt.Errorf("unknown algorithm %q", s.Options.Algorithm)
+	}
+	switch s.Options.Objective {
+	case "", "ratio":
+		o.Objective = turbosyn.MinRatio
+	case "period":
+		o.Objective = turbosyn.MinPeriod
+	default:
+		return o, fmt.Errorf("unknown objective %q", s.Options.Objective)
+	}
+	// Every job runs under the server's per-job arena reservation; a job may
+	// ask for less, never more (admission reserved exactly cfg.PerJobArena).
+	o.ArenaByteBudget = cfg.PerJobArena
+	if b := s.Options.ArenaByteBudget; b > 0 && (o.ArenaByteBudget == 0 || b < o.ArenaByteBudget) {
+		o.ArenaByteBudget = b
+	}
+	return o, nil
+}
+
+// timeout resolves the job's effective deadline under the server's caps.
+func (s *JobSpec) timeout(cfg Config) time.Duration {
+	d := time.Duration(s.TimeoutMS) * time.Millisecond
+	if d <= 0 {
+		d = cfg.DefaultTimeout
+	}
+	if cfg.MaxTimeout > 0 && d > cfg.MaxTimeout {
+		d = cfg.MaxTimeout
+	}
+	return d
+}
+
+// ResultMeta is the summary of a finished job (the netlist itself is served
+// by the result endpoint).
+type ResultMeta struct {
+	Phi        int    `json:"phi"`
+	LUTs       int    `json:"luts"`
+	Latency    []int  `json:"latency,omitempty"`
+	Circuit    string `json:"circuit,omitempty"`
+	Iterations int    `json:"iterations"`
+	RunMS      int64  `json:"run_ms"`
+	// Recovered marks a job resumed from the journal after a restart.
+	Recovered bool `json:"recovered,omitempty"`
+}
+
+// Job is one accepted synthesis job and its full lifecycle record.
+type Job struct {
+	ID     string
+	Seq    uint64
+	Spec   JobSpec
+	Queued time.Time
+
+	mu     sync.Mutex
+	state  State
+	err    *ErrorInfo
+	meta   ResultMeta
+	result []byte // BLIF bytes once done
+
+	snap atomic.Pointer[obs.Snapshot] // latest progress snapshot while running
+	done chan struct{}                // closed on entering a terminal state
+
+	// recovered marks a job re-admitted from the journal after a restart.
+	recovered bool
+}
+
+func newJob(id string, seq uint64, spec JobSpec, now time.Time) *Job {
+	j := &Job{ID: id, Seq: seq, Spec: spec, Queued: now, state: StateQueued, done: make(chan struct{})}
+	return j
+}
+
+// setState advances the FSM (non-terminal transitions).
+func (j *Job) setState(s State) {
+	j.mu.Lock()
+	if !j.state.Terminal() {
+		j.state = s
+	}
+	j.mu.Unlock()
+}
+
+// finish moves the job to a terminal state exactly once.
+func (j *Job) finish(s State, meta ResultMeta, blif []byte, errInfo *ErrorInfo) {
+	j.mu.Lock()
+	if j.state.Terminal() {
+		j.mu.Unlock()
+		return
+	}
+	j.state, j.meta, j.result, j.err = s, meta, blif, errInfo
+	j.mu.Unlock()
+	close(j.done)
+}
+
+// Snapshot returns the job's latest progress snapshot (zero before the job
+// produced one).
+func (j *Job) Snapshot() obs.Snapshot {
+	if s := j.snap.Load(); s != nil {
+		return *s
+	}
+	return obs.Snapshot{}
+}
+
+// Status assembles the wire representation of the job's current state.
+func (j *Job) Status() JobStatus {
+	j.mu.Lock()
+	st := JobStatus{
+		ID: j.ID, Tenant: j.Spec.Tenant, State: j.state,
+		Queued: j.Queued, Error: j.err,
+	}
+	if j.state == StateDone {
+		m := j.meta
+		st.Result = &m
+	}
+	j.mu.Unlock()
+	snap := j.Snapshot()
+	if snap.RunID != "" {
+		st.Progress = &snap
+	}
+	return st
+}
+
+// resultBytes returns the finished netlist, or false while not done.
+func (j *Job) resultBytes() ([]byte, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != StateDone {
+		return nil, false
+	}
+	return j.result, true
+}
+
+// JobStatus is the status-endpoint JSON document.
+type JobStatus struct {
+	ID       string        `json:"id"`
+	Tenant   string        `json:"tenant"`
+	State    State         `json:"state"`
+	Queued   time.Time     `json:"queued"`
+	Result   *ResultMeta   `json:"result,omitempty"`
+	Error    *ErrorInfo    `json:"error,omitempty"`
+	Progress *obs.Snapshot `json:"progress,omitempty"`
+}
+
+// Err raises the status's failure into the engine's typed error taxonomy
+// (nil when the job has not failed). See ErrorInfo.Err.
+func (s *JobStatus) Err() error { return s.Error.Err() }

@@ -1,0 +1,211 @@
+package server
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"turbosyn/internal/faultinject"
+)
+
+// A daemon pointed at a journal directory that does not exist yet must
+// start: the startup sequence is LoadJournal (missing = empty), then
+// CompactJournal, then OpenJournal, so compaction has to create the
+// directory itself rather than rely on OpenJournal's MkdirAll.
+func TestJournalFreshDirStartup(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "not", "yet", "created")
+	pending, maxSeq, err := LoadJournal(dir)
+	if err != nil || len(pending) != 0 || maxSeq != 0 {
+		t.Fatalf("LoadJournal on missing dir: pending=%v maxSeq=%d err=%v", pending, maxSeq, err)
+	}
+	if err := CompactJournal(dir, nil); err != nil {
+		t.Fatalf("CompactJournal on missing dir: %v", err)
+	}
+	j, err := OpenJournal(dir)
+	if err != nil {
+		t.Fatalf("OpenJournal after compaction: %v", err)
+	}
+	if err := j.Accepted(newJobForTest("j-00000001", 1, JobSpec{Tenant: "t"})); err != nil {
+		t.Fatalf("Accepted: %v", err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	pending, maxSeq, err = LoadJournal(dir)
+	if err != nil || len(pending) != 1 || maxSeq != 1 {
+		t.Fatalf("replay after fresh-dir startup: pending=%d maxSeq=%d err=%v", len(pending), maxSeq, err)
+	}
+}
+
+func TestJournalRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	j, err := OpenJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := JobSpec{Tenant: "acme", Priority: 2, BLIF: ".model m\n.inputs a\n.outputs y\n.names a y\n1 1\n.end\n"}
+	job := newJobForTest("j-00000001", 1, spec)
+	if err := j.Accepted(job); err != nil {
+		t.Fatal(err)
+	}
+	acceptedRec := newJobForTest("j-00000002", 2, JobSpec{Tenant: "b", Generator: &GeneratorSpec{Kind: "suite", Name: "bbara"}})
+	if err := j.Accepted(acceptedRec); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Terminal("j-00000001", StateDone, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	pending, maxSeq, err := LoadJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if maxSeq != 2 {
+		t.Fatalf("maxSeq = %d, want 2", maxSeq)
+	}
+	if len(pending) != 1 || pending[0].ID != "j-00000002" || pending[0].Spec.Tenant != "b" {
+		t.Fatalf("pending = %+v, want exactly j-00000002", pending)
+	}
+}
+
+func newJobForTest(id string, seq uint64, spec JobSpec) *Job {
+	return newJob(id, seq, spec, time.Time{})
+}
+
+func TestJournalTruncationLoadsPrefix(t *testing.T) {
+	dir := t.TempDir()
+	j, err := OpenJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 3; i++ {
+		if err := j.Accepted(newJobForTest(jobID(i), uint64(i), JobSpec{Tenant: "t", BLIF: "x"})); err != nil {
+			t.Fatal(err)
+		}
+	}
+	j.Close()
+	path := filepath.Join(dir, "jobs.journal")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Chop bytes off the tail: every prefix must load cleanly, recovering a
+	// (possibly shorter) prefix of the accepted jobs — never erroring.
+	for cut := 1; cut < 40; cut++ {
+		if err := os.WriteFile(path, data[:len(data)-cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		pending, _, err := LoadJournal(dir)
+		if err != nil {
+			t.Fatalf("cut %d: %v", cut, err)
+		}
+		if len(pending) > 3 {
+			t.Fatalf("cut %d: recovered %d jobs from a 3-job log", cut, len(pending))
+		}
+		for i, pj := range pending {
+			if pj.ID != jobID(i+1) {
+				t.Fatalf("cut %d: pending[%d] = %s, want prefix order", cut, i, pj.ID)
+			}
+		}
+	}
+	// Corrupt a payload byte mid-file: load stops at the bad record.
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	mid := len(data)/2 + 3
+	corrupt := append([]byte(nil), data...)
+	corrupt[mid] ^= 0xff
+	if err := os.WriteFile(path, corrupt, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	pending, _, err := LoadJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pending) >= 3 {
+		t.Fatalf("corrupt mid-record: recovered %d jobs, want a strict prefix", len(pending))
+	}
+}
+
+func jobID(i int) string {
+	return []string{"", "j-00000001", "j-00000002", "j-00000003"}[i]
+}
+
+func TestJournalCompaction(t *testing.T) {
+	dir := t.TempDir()
+	j, err := OpenJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 3; i++ {
+		if err := j.Accepted(newJobForTest(jobID(i), uint64(i), JobSpec{Tenant: "t", BLIF: "x"})); err != nil {
+			t.Fatal(err)
+		}
+	}
+	j.Terminal(jobID(1), StateDone, nil)
+	j.Terminal(jobID(3), StateFailed, &ErrorInfo{Kind: KindInvalid, Message: "nope"})
+	j.Close()
+	pending, maxSeq, err := LoadJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pending) != 1 || pending[0].ID != jobID(2) {
+		t.Fatalf("pending = %+v, want only %s", pending, jobID(2))
+	}
+	if err := CompactJournal(dir, pending); err != nil {
+		t.Fatal(err)
+	}
+	_ = maxSeq
+	// The compacted journal replays to the same pending set and nothing else.
+	pending2, maxSeq2, err := LoadJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pending2) != 1 || pending2[0].ID != jobID(2) || maxSeq2 != 2 {
+		t.Fatalf("after compaction pending = %+v maxSeq = %d", pending2, maxSeq2)
+	}
+	// Compaction shrank the file.
+	st, err := os.Stat(filepath.Join(dir, "jobs.journal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Size() <= 8 {
+		t.Fatalf("compacted journal is empty, want the pending record")
+	}
+}
+
+func TestJournalVersionSkewQuarantined(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "jobs.journal")
+	if err := os.WriteFile(path, []byte("BOGUSDATA"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	j, err := OpenJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	if _, err := os.Stat(path + ".bad"); err != nil {
+		t.Fatalf("unrecognized journal was not quarantined: %v", err)
+	}
+	if pending, _, err := LoadJournal(dir); err != nil || len(pending) != 0 {
+		t.Fatalf("fresh journal after quarantine: pending=%v err=%v", pending, err)
+	}
+}
+
+func TestJournalWriteFaultInjection(t *testing.T) {
+	dir := t.TempDir()
+	j, err := OpenJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	_, deactivate := faultinject.Activate(faultinject.Config{JournalFailAt: 1, JournalFailAll: true})
+	defer deactivate()
+	if err := j.Accepted(newJobForTest(jobID(1), 1, JobSpec{Tenant: "t", BLIF: "x"})); err == nil {
+		t.Fatal("injected journal fault did not surface")
+	}
+}
