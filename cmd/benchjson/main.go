@@ -9,13 +9,16 @@
 //	benchjson -delta old.json new.json
 //
 // Delta mode compares two such documents benchmark by benchmark, printing
-// the new/old ratio of ns/op, B/op and allocs/op for every shared name, and
-// exits nonzero when any ratio exceeds its threshold (-max-time-ratio,
-// -max-bytes-ratio, -max-allocs-ratio) — the CI regression gate of
-// `make bench-smoke`. A benchmark that was allocation-free and now
-// allocates is always a regression under the allocs gate (the ratio is
-// reported as +Inf), which is how the zero-allocation warm-sweep invariant
-// is enforced at the benchmark level.
+// the new/old ratio of ns/op, B/op, allocs/op — and, for daemon load
+// sweeps, p99-ms and retries — for every shared name, and exits nonzero
+// when any ratio exceeds its threshold (-max-time-ratio, -max-bytes-ratio,
+// -max-allocs-ratio, -max-p99-ratio, -max-retries-ratio) — the CI
+// regression gates of `make bench-smoke` and `make bench-daemon`. A
+// benchmark that was allocation-free and now allocates is always a
+// regression under the allocs gate (the ratio is reported as +Inf), which
+// is how the zero-allocation warm-sweep invariant is enforced at the
+// benchmark level. The retries gate compares (new+1)/(old+1), since a
+// zero-retry baseline is the healthy norm.
 //
 // Names present in only one document are informational by default ("only in
 // new" is how a freshly added benchmark rides through the gate until its
@@ -99,11 +102,13 @@ func Parse(r io.Reader) (*Doc, error) {
 // DeltaRow is one benchmark's old-vs-new comparison. Ratios are new/old;
 // a ratio is 0 when the metric is absent on either side (nothing to gate).
 type DeltaRow struct {
-	Name        string
-	TimeRatio   float64 // ns/op new/old
-	BytesRatio  float64 // B/op new/old
-	AllocsRatio float64 // allocs/op new/old; +Inf when 0 allocs grew to >0
-	OnlyIn      string  // "old" or "new" when the name is not shared, else ""
+	Name         string
+	TimeRatio    float64 // ns/op new/old
+	BytesRatio   float64 // B/op new/old
+	AllocsRatio  float64 // allocs/op new/old; +Inf when 0 allocs grew to >0
+	P99Ratio     float64 // p99-ms new/old (daemon load sweeps)
+	RetriesRatio float64 // retries (new+1)/(old+1): smoothed, since 0 is common
+	OnlyIn       string  // "old" or "new" when the name is not shared, else ""
 }
 
 // ratio returns new/old for one metric, or 0 when it cannot be formed.
@@ -135,6 +140,20 @@ func allocsRatio(oldM, newM map[string]float64) float64 {
 	return n / o
 }
 
+// retriesRatio compares the "retries" counters as (new+1)/(old+1): a zero
+// baseline is the normal case for an unloaded sweep, so the plain ratio
+// would be unformable exactly when the gate matters most (0 retries
+// suddenly becoming thousands). The +1 smoothing keeps 0 -> 0 at 1.0 while
+// 0 -> 999 reads as 1000x — well past any sane threshold.
+func retriesRatio(oldM, newM map[string]float64) float64 {
+	o, okO := oldM["retries"]
+	n, okN := newM["retries"]
+	if !okO || !okN {
+		return 0
+	}
+	return (n + 1) / (o + 1)
+}
+
 // Delta pairs the two documents' benchmarks by name, in the new document's
 // order, with old-only names appended.
 func Delta(oldDoc, newDoc *Doc) []DeltaRow {
@@ -152,10 +171,12 @@ func Delta(oldDoc, newDoc *Doc) []DeltaRow {
 			continue
 		}
 		rows = append(rows, DeltaRow{
-			Name:        nb.Name,
-			TimeRatio:   ratio(ob.Metrics, nb.Metrics, "ns/op"),
-			BytesRatio:  ratio(ob.Metrics, nb.Metrics, "B/op"),
-			AllocsRatio: allocsRatio(ob.Metrics, nb.Metrics),
+			Name:         nb.Name,
+			TimeRatio:    ratio(ob.Metrics, nb.Metrics, "ns/op"),
+			BytesRatio:   ratio(ob.Metrics, nb.Metrics, "B/op"),
+			AllocsRatio:  allocsRatio(ob.Metrics, nb.Metrics),
+			P99Ratio:     ratio(ob.Metrics, nb.Metrics, "p99-ms"),
+			RetriesRatio: retriesRatio(ob.Metrics, nb.Metrics),
 		})
 	}
 	for _, ob := range oldDoc.Benchmarks {
@@ -166,14 +187,26 @@ func Delta(oldDoc, newDoc *Doc) []DeltaRow {
 	return rows
 }
 
+// Gates holds the delta-mode regression thresholds; a zero field disables
+// that gate. The p99 and retries gates exist for the daemon load sweep,
+// where tail latency and shed-load churn regress long before the mean does.
+type Gates struct {
+	MaxTime    float64 // ns/op ratio ceiling
+	MaxBytes   float64 // B/op ratio ceiling
+	MaxAllocs  float64 // allocs/op ratio ceiling
+	MaxP99     float64 // p99-ms ratio ceiling
+	MaxRetries float64 // retries (new+1)/(old+1) ceiling
+}
+
 // FormatDelta renders the comparison table and returns the number of rows
-// whose ratio exceeds its threshold (0 disables a gate). Regressing rows
+// whose ratio exceeds its gate (a zero gate is disabled). Regressing rows
 // are marked REGRESSED. Unshared names are informational, except that
 // requireOld makes a name with no old baseline ("only in new") count as a
 // regression — an old-only name stays informational either way, since a
 // deliberately removed benchmark has nothing left to gate.
-func FormatDelta(w io.Writer, rows []DeltaRow, maxTime, maxBytes, maxAllocs float64, requireOld bool) (regressions int) {
-	fmt.Fprintf(w, "%-44s %13s %12s %15s\n", "benchmark", "ns/op new/old", "B/op new/old", "allocs new/old")
+func FormatDelta(w io.Writer, rows []DeltaRow, g Gates, requireOld bool) (regressions int) {
+	fmt.Fprintf(w, "%-44s %13s %12s %15s %13s %15s\n",
+		"benchmark", "ns/op new/old", "B/op new/old", "allocs new/old", "p99 new/old", "retries n+1/o+1")
 	for _, r := range rows {
 		if r.OnlyIn != "" {
 			mark := ""
@@ -184,15 +217,18 @@ func FormatDelta(w io.Writer, rows []DeltaRow, maxTime, maxBytes, maxAllocs floa
 			fmt.Fprintf(w, "%-44s only in %s%s\n", r.Name, r.OnlyIn, mark)
 			continue
 		}
-		bad := (maxTime > 0 && r.TimeRatio > maxTime) ||
-			(maxBytes > 0 && r.BytesRatio > maxBytes) ||
-			(maxAllocs > 0 && r.AllocsRatio > maxAllocs)
+		bad := (g.MaxTime > 0 && r.TimeRatio > g.MaxTime) ||
+			(g.MaxBytes > 0 && r.BytesRatio > g.MaxBytes) ||
+			(g.MaxAllocs > 0 && r.AllocsRatio > g.MaxAllocs) ||
+			(g.MaxP99 > 0 && r.P99Ratio > g.MaxP99) ||
+			(g.MaxRetries > 0 && r.RetriesRatio > g.MaxRetries)
 		mark := ""
 		if bad {
 			mark = "  REGRESSED"
 			regressions++
 		}
-		fmt.Fprintf(w, "%-44s %13.3f %12.3f %15.3f%s\n", r.Name, r.TimeRatio, r.BytesRatio, r.AllocsRatio, mark)
+		fmt.Fprintf(w, "%-44s %13.3f %12.3f %15.3f %13.3f %15.3f%s\n",
+			r.Name, r.TimeRatio, r.BytesRatio, r.AllocsRatio, r.P99Ratio, r.RetriesRatio, mark)
 	}
 	return regressions
 }
@@ -215,6 +251,8 @@ func main() {
 	maxTime := flag.Float64("max-time-ratio", 3.0, "delta mode: fail when ns/op grows beyond this new/old ratio (0 disables)")
 	maxBytes := flag.Float64("max-bytes-ratio", 1.5, "delta mode: fail when B/op grows beyond this new/old ratio (0 disables)")
 	maxAllocs := flag.Float64("max-allocs-ratio", 1.5, "delta mode: fail when allocs/op grows beyond this new/old ratio (0 disables; 0 allocs growing to any is always a failure)")
+	maxP99 := flag.Float64("max-p99-ratio", 0, "delta mode: fail when p99-ms grows beyond this new/old ratio (0 disables; daemon load sweeps)")
+	maxRetries := flag.Float64("max-retries-ratio", 0, "delta mode: fail when retries grow beyond this (new+1)/(old+1) ratio (0 disables)")
 	requireOld := flag.Bool("require-old", false, "delta mode: fail when a benchmark in the new document has no old baseline (default: informational)")
 	flag.Parse()
 
@@ -230,9 +268,10 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		if n := FormatDelta(os.Stdout, Delta(oldDoc, newDoc), *maxTime, *maxBytes, *maxAllocs, *requireOld); n > 0 {
-			fatal(fmt.Errorf("%d benchmark(s) regressed beyond thresholds (ns/op > %gx, B/op > %gx or allocs/op > %gx)",
-				n, *maxTime, *maxBytes, *maxAllocs))
+		g := Gates{MaxTime: *maxTime, MaxBytes: *maxBytes, MaxAllocs: *maxAllocs, MaxP99: *maxP99, MaxRetries: *maxRetries}
+		if n := FormatDelta(os.Stdout, Delta(oldDoc, newDoc), g, *requireOld); n > 0 {
+			fatal(fmt.Errorf("%d benchmark(s) regressed beyond thresholds (ns/op > %gx, B/op > %gx, allocs/op > %gx, p99-ms > %gx, retries > %gx)",
+				n, *maxTime, *maxBytes, *maxAllocs, *maxP99, *maxRetries))
 		}
 		return
 	}

@@ -93,7 +93,7 @@ func TestDeltaMissingMetricIsNotGated(t *testing.T) {
 		t.Fatalf("missing metrics must give zero ratios, got %+v", rows[0])
 	}
 	var buf strings.Builder
-	if n := FormatDelta(&buf, rows, 1.1, 1.1, 1.1, false); n != 0 {
+	if n := FormatDelta(&buf, rows, Gates{MaxTime: 1.1, MaxBytes: 1.1, MaxAllocs: 1.1}, false); n != 0 {
 		t.Fatalf("ungated row counted as regression:\n%s", buf.String())
 	}
 }
@@ -127,12 +127,58 @@ func TestDeltaAllocsRatio(t *testing.T) {
 	}
 	// At the default 1.5x both the doubling and the 0 -> 1 jump trip.
 	var buf strings.Builder
-	if n := FormatDelta(&buf, rows, 0, 0, 1.5, false); n != 2 {
+	if n := FormatDelta(&buf, rows, Gates{MaxAllocs: 1.5}, false); n != 2 {
 		t.Fatalf("allocs gate at 1.5x flagged %d rows, want 2:\n%s", n, buf.String())
 	}
 	// The 0 -> 1 jump must trip any positive threshold, however generous.
-	if n := FormatDelta(&strings.Builder{}, rows, 0, 0, 1000, false); n != 1 {
+	if n := FormatDelta(&strings.Builder{}, rows, Gates{MaxAllocs: 1000}, false); n != 1 {
 		t.Fatalf("allocs gate at 1000x flagged %d rows, want only the 0->1 jump", n)
+	}
+}
+
+func bmLoad(name string, p99, retries float64) Benchmark {
+	return Benchmark{Name: name, N: 1, Metrics: map[string]float64{
+		"ns/op": 100, "p99-ms": p99, "retries": retries,
+	}}
+}
+
+func TestDeltaP99AndRetriesRatios(t *testing.T) {
+	oldDoc := &Doc{Benchmarks: []Benchmark{
+		bmLoad("Load", 10, 0),
+		bmLoad("Calm", 10, 4),
+	}}
+	newDoc := &Doc{Benchmarks: []Benchmark{
+		bmLoad("Load", 80, 999),
+		bmLoad("Calm", 10, 4),
+	}}
+	rows := Delta(oldDoc, newDoc)
+	if rows[0].P99Ratio != 8.0 {
+		t.Fatalf("p99 ratio = %v, want 8", rows[0].P99Ratio)
+	}
+	// Zero-retry baseline: the smoothed ratio (999+1)/(0+1) still trips.
+	if rows[0].RetriesRatio != 1000 {
+		t.Fatalf("retries ratio = %v, want 1000", rows[0].RetriesRatio)
+	}
+	if rows[1].P99Ratio != 1.0 || rows[1].RetriesRatio != 1.0 {
+		t.Fatalf("steady row ratios = %+v, want 1.0/1.0", rows[1])
+	}
+	var buf strings.Builder
+	if n := FormatDelta(&buf, rows, Gates{MaxP99: 5.0}, false); n != 1 {
+		t.Fatalf("p99 gate flagged %d rows, want 1:\n%s", n, buf.String())
+	}
+	if n := FormatDelta(&strings.Builder{}, rows, Gates{MaxRetries: 10.0}, false); n != 1 {
+		t.Fatalf("retries gate flagged %d rows, want 1", n)
+	}
+	// A benchmark without the load metrics (plain engine benchmarks) is
+	// never gated on them.
+	plain := Delta(
+		&Doc{Benchmarks: []Benchmark{bm("A", 100, 100)}},
+		&Doc{Benchmarks: []Benchmark{bm("A", 100, 100)}})
+	if plain[0].P99Ratio != 0 || plain[0].RetriesRatio != 0 {
+		t.Fatalf("metric-free row got load ratios: %+v", plain[0])
+	}
+	if n := FormatDelta(&strings.Builder{}, plain, Gates{MaxP99: 1.01, MaxRetries: 1.01}, false); n != 0 {
+		t.Fatalf("load gates fired on a benchmark without load metrics")
 	}
 }
 
@@ -144,7 +190,7 @@ func TestFormatDeltaFlagsRegressions(t *testing.T) {
 		{Name: "New", OnlyIn: "new"},
 	}
 	var buf strings.Builder
-	n := FormatDelta(&buf, rows, 3.0, 1.5, 1.5, false)
+	n := FormatDelta(&buf, rows, Gates{MaxTime: 3.0, MaxBytes: 1.5, MaxAllocs: 1.5}, false)
 	if n != 2 {
 		t.Fatalf("regressions = %d, want 2:\n%s", n, buf.String())
 	}
@@ -159,7 +205,7 @@ func TestFormatDeltaFlagsRegressions(t *testing.T) {
 		t.Fatalf("new-only benchmark not reported:\n%s", out)
 	}
 	// Disabled gates (0) must never fire.
-	if n := FormatDelta(&strings.Builder{}, rows, 0, 0, 0, false); n != 0 {
+	if n := FormatDelta(&strings.Builder{}, rows, Gates{}, false); n != 0 {
 		t.Fatalf("disabled thresholds still flagged %d rows", n)
 	}
 }
@@ -172,13 +218,13 @@ func TestFormatDeltaRequireOld(t *testing.T) {
 	}
 	// Default: unshared names are informational.
 	var buf strings.Builder
-	if n := FormatDelta(&buf, rows, 3.0, 1.5, 1.5, false); n != 0 {
+	if n := FormatDelta(&buf, rows, Gates{MaxTime: 3.0, MaxBytes: 1.5, MaxAllocs: 1.5}, false); n != 0 {
 		t.Fatalf("informational new-only row counted as regression:\n%s", buf.String())
 	}
 	// -require-old: a new benchmark with no baseline is fatal; a removed
 	// benchmark (old-only) stays informational.
 	buf.Reset()
-	if n := FormatDelta(&buf, rows, 3.0, 1.5, 1.5, true); n != 1 {
+	if n := FormatDelta(&buf, rows, Gates{MaxTime: 3.0, MaxBytes: 1.5, MaxAllocs: 1.5}, true); n != 1 {
 		t.Fatalf("require-old flagged %d rows, want 1:\n%s", n, buf.String())
 	}
 	out := buf.String()

@@ -12,18 +12,25 @@
 //
 // One line per level:
 //
-//	BenchmarkDaemonLoad/c32 1000 1234567 ns/op 1.2 p50-ms 9.8 p99-ms 810 jobs/sec 0 retries
+//	BenchmarkDaemonLoad/c32 1000 1234567 ns/op 1.2 p50-ms 9.8 p99-ms 810 jobs/sec 0 retries 0.4 qwait-ms 1.1 run-ms
 //
 // ns/op is mean end-to-end job latency (submit to terminal state); retries
 // counts 429/503 re-submissions absorbed by the client's backoff — nonzero
 // retries at high concurrency with zero failures is admission control doing
-// its job.
+// its job. qwait-ms and run-ms split the server-side mean per level —
+// scraped as /statz latency-summary deltas around the level — so a latency
+// regression is attributable: queue-wait grows when the fleet saturates,
+// run time grows when the engine (or its serving overhead) slowed down.
+// Progress is followed over the daemon's push NDJSON stream, not polled, so
+// measured latency excludes poll-interval quantization.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"runtime"
 	"sort"
@@ -63,6 +70,9 @@ func main() {
 		s, serr := server.New(server.Config{
 			Fleet: *fleet,
 			Queue: jobqueue.Config{Capacity: *queueCap},
+			// Per-job trace rings would be pure overhead here: thousands of
+			// short jobs, none of whose traces are ever fetched.
+			TraceRingCap: -1,
 		})
 		if serr != nil {
 			fatal(serr)
@@ -88,16 +98,50 @@ func main() {
 		runtime.GOOS, runtime.GOARCH, runtime.NumCPU())
 
 	for _, c := range levels {
+		before := scrapeLatency(base)
 		res, err := runLevel(base, *jobs, c, *tenants, *timeout)
 		if err != nil {
 			fatal(fmt.Errorf("concurrency %d: %w", c, err))
 		}
-		fmt.Printf("BenchmarkDaemonLoad/c%d %d %d ns/op %.2f p50-ms %.2f p99-ms %.1f jobs/sec %d retries\n",
-			c, *jobs, res.mean.Nanoseconds(), ms(res.p50), ms(res.p99), res.throughput, res.retries)
+		after := scrapeLatency(base)
+		fmt.Printf("BenchmarkDaemonLoad/c%d %d %d ns/op %.2f p50-ms %.2f p99-ms %.1f jobs/sec %d retries %.2f qwait-ms %.2f run-ms\n",
+			c, *jobs, res.mean.Nanoseconds(), ms(res.p50), ms(res.p99), res.throughput, res.retries,
+			meanDeltaMS(before["queue_wait"], after["queue_wait"]),
+			meanDeltaMS(before["run"], after["run"]))
 		if res.failed > 0 {
 			fatal(fmt.Errorf("concurrency %d: %d jobs failed", c, res.failed))
 		}
 	}
+}
+
+// scrapeLatency snapshots the daemon's cumulative /statz latency summaries
+// (queue_wait, run, ...). The daemon's histograms never reset, so per-level
+// figures come from before/after deltas. A scrape failure (old daemon, URL
+// unreachable between levels) degrades to an empty map — the split columns
+// then read 0 rather than aborting the sweep.
+func scrapeLatency(base string) map[string]server.LatencySummary {
+	resp, err := http.Get(base + "/statz")
+	if err != nil {
+		return nil
+	}
+	defer resp.Body.Close()
+	var st struct {
+		Latency map[string]server.LatencySummary `json:"latency"`
+	}
+	if resp.StatusCode != http.StatusOK || json.NewDecoder(resp.Body).Decode(&st) != nil {
+		return nil
+	}
+	return st.Latency
+}
+
+// meanDeltaMS is the mean latency, in ms, of the observations one level
+// added to a cumulative summary.
+func meanDeltaMS(before, after server.LatencySummary) float64 {
+	n := after.Count - before.Count
+	if n == 0 {
+		return 0
+	}
+	return (after.SumSeconds - before.SumSeconds) / float64(n) * 1e3
 }
 
 type levelResult struct {
@@ -143,7 +187,10 @@ func runLevel(base string, jobs, conc, tenants int, timeout time.Duration) (*lev
 					errs <- fmt.Errorf("job %d: %w", i, err)
 					return
 				}
-				st, err := cl.Wait(ctx, id, 5*time.Millisecond)
+				// Push stream, not polling: the terminal status arrives the
+				// moment the daemon publishes it, so the measured latency is
+				// the daemon's, not the poll interval's.
+				st, err := cl.Stream(ctx, id, nil)
 				if err != nil {
 					errs <- fmt.Errorf("job %d (%s): %w", i, id, err)
 					return

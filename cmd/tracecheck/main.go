@@ -1,68 +1,24 @@
 // Command tracecheck validates a Chrome/Perfetto trace file written by
-// `turbosyn -trace` and prints a per-span-name event census. It exists so CI
-// can prove the uploaded trace artifact is loadable before anyone drags it
-// into ui.perfetto.dev, and doubles as a quick way to see what a run did:
+// `turbosyn -trace` or served from `turbosynd`'s GET /jobs/{id}/trace, and
+// prints a per-span-name event census. It exists so CI can prove an
+// uploaded trace artifact is loadable before anyone drags it into
+// ui.perfetto.dev, and doubles as a quick way to see what a run did:
 //
 //	tracecheck trace.json
 //
-// Exit status is nonzero when the file is not valid trace JSON, contains no
-// events, or contains an event that Perfetto would reject (unknown phase,
-// complete event without a duration, negative timestamp).
+// The validation itself lives in internal/traceval (shared with the daemon
+// tests). Exit status is nonzero when the file is not valid trace JSON,
+// contains no events, or contains an event that Perfetto would reject
+// (unknown phase, complete event without a duration, negative timestamp).
 package main
 
 import (
-	"encoding/json"
 	"fmt"
 	"os"
 	"sort"
+
+	"turbosyn/internal/traceval"
 )
-
-// event mirrors the subset of the Trace Event Format the recorder emits:
-// "M" metadata, "X" complete spans, "i" instants.
-type event struct {
-	Name string   `json:"name"`
-	Ph   string   `json:"ph"`
-	Ts   *float64 `json:"ts"`
-	Dur  *float64 `json:"dur"`
-	PID  *int64   `json:"pid"`
-	TID  *int64   `json:"tid"`
-}
-
-type trace struct {
-	TraceEvents []event        `json:"traceEvents"`
-	OtherData   map[string]any `json:"otherData"`
-}
-
-func check(data []byte) (*trace, error) {
-	var tr trace
-	if err := json.Unmarshal(data, &tr); err != nil {
-		return nil, fmt.Errorf("not valid trace JSON: %w", err)
-	}
-	if len(tr.TraceEvents) == 0 {
-		return nil, fmt.Errorf("trace has no events")
-	}
-	for i, ev := range tr.TraceEvents {
-		switch ev.Ph {
-		case "M":
-			// Metadata events carry no timestamp.
-		case "X":
-			if ev.Dur == nil {
-				return nil, fmt.Errorf("event %d (%s): complete span without dur", i, ev.Name)
-			}
-			fallthrough
-		case "i":
-			if ev.Ts == nil || *ev.Ts < 0 {
-				return nil, fmt.Errorf("event %d (%s): missing or negative ts", i, ev.Name)
-			}
-			if ev.PID == nil || ev.TID == nil {
-				return nil, fmt.Errorf("event %d (%s): missing pid/tid", i, ev.Name)
-			}
-		default:
-			return nil, fmt.Errorf("event %d (%s): unknown phase %q", i, ev.Name, ev.Ph)
-		}
-	}
-	return &tr, nil
-}
 
 func main() {
 	if len(os.Args) != 2 {
@@ -73,17 +29,12 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	tr, err := check(data)
+	tr, err := traceval.Check(data)
 	if err != nil {
 		fatal(fmt.Errorf("%s: %w", os.Args[1], err))
 	}
 
-	counts := map[string]int{}
-	for _, ev := range tr.TraceEvents {
-		if ev.Ph != "M" {
-			counts[ev.Name]++
-		}
-	}
+	counts := tr.Counts()
 	names := make([]string, 0, len(counts))
 	for n := range counts {
 		names = append(names, n)

@@ -170,7 +170,12 @@ func main() {
 		}
 	}
 	if *metricsAddr != "" {
-		expvar.Publish("turbosyn", expvar.Func(met.Expvar))
+		// Idempotent publication: a second engine in the same process (or a
+		// test running main twice) re-targets the "turbosyn" expvar instead
+		// of panicking in expvar.Publish. Daemons hosting many concurrent
+		// runs scope the name by run id instead — see Metrics.PublishExpvar.
+		unpublish := met.PublishExpvar("")
+		defer unpublish()
 		mux := http.NewServeMux()
 		mux.Handle("/metrics", met)
 		mux.Handle("/debug/vars", expvar.Handler())

@@ -13,8 +13,13 @@
 //	POST /jobs               submit a job           -> 202 {"id": ...}
 //	GET  /jobs/{id}          status                 -> JobStatus JSON
 //	GET  /jobs/{id}/result   finished netlist       -> BLIF text
-//	GET  /jobs/{id}/progress live progress          -> NDJSON stream
+//	GET  /jobs/{id}/progress live progress          -> push NDJSON stream
+//	GET  /jobs/{id}/trace    stitched Perfetto trace (terminal jobs)
 //	GET  /healthz /statz /metrics                   health, stats, Prometheus
+//
+// With -debug-addr set, a second listener serves net/http/pprof and expvar
+// (/debug/pprof/, /debug/vars) — bind it to localhost or a management
+// network, never the tenant-facing address.
 //
 // Over-capacity, over-quota, over-rate and over-memory submissions answer
 // 429 with a Retry-After; a draining daemon answers 503. Accepted jobs
@@ -33,6 +38,7 @@ import (
 	"time"
 
 	"turbosyn/internal/jobqueue"
+	"turbosyn/internal/obs"
 	"turbosyn/internal/server"
 )
 
@@ -52,6 +58,8 @@ func main() {
 		drainGrace = flag.Duration("drain-grace", 30*time.Second, "graceful-drain deadline on SIGTERM; in-flight jobs still running after it are cancelled (retryably)")
 		journalDir = flag.String("journal-dir", "", "crash-safe job journal directory (empty: jobs do not survive restarts)")
 		cacheDir   = flag.String("decomp-cache", "", "shared persistent decomposition cache directory")
+		traceCap   = flag.Int("trace-ring", 0, "per-ring event capacity of each job's stitched trace (0 = 1024, -1 disables /jobs/{id}/trace)")
+		debugAddr  = flag.String("debug-addr", "", "opt-in debug listen address serving net/http/pprof and expvar (bind to localhost or a management network)")
 		logJSON    = flag.Bool("log-json", false, "structured logs as JSON instead of text")
 		verbose    = flag.Bool("v", false, "debug-level logging")
 	)
@@ -85,6 +93,7 @@ func main() {
 		DrainTimeout:   *drainGrace,
 		JournalDir:     *journalDir,
 		CacheDir:       *cacheDir,
+		TraceRingCap:   *traceCap,
 		Logger:         logger,
 	})
 	if err != nil {
@@ -102,6 +111,28 @@ func main() {
 		os.Exit(1)
 	}
 	logger.Info("turbosynd serving", "addr", bound.String(), "journal", *journalDir)
+
+	// Opt-in debug mux: pprof + expvar, on its own listener so profiles and
+	// process vars never ride the tenant-facing address. The daemon's Stats
+	// snapshot is published idempotently under "turbosynd".
+	if *debugAddr != "" {
+		unpublish := obs.PublishExpvar("turbosynd", func() any { return s.Stats() })
+		defer unpublish()
+		dsrv := server.NewHTTPServer(*debugAddr, server.DebugHandler())
+		dbound, shutdownDebug, err := server.ListenAndServeBackground(dsrv, func(err error) {
+			logger.Error("debug serve failed", "err", err.Error())
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "turbosynd:", err)
+			os.Exit(1)
+		}
+		defer func() {
+			dctx, dcancel := context.WithTimeout(context.Background(), 2*time.Second)
+			shutdownDebug(dctx)
+			dcancel()
+		}()
+		logger.Info("debug mux serving", "addr", dbound.String())
+	}
 
 	// SIGTERM/SIGINT: stop admitting (503), finish what is queued and
 	// running within the drain grace, shed or cancel the rest — every

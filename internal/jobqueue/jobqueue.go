@@ -98,6 +98,11 @@ type tenantState struct {
 	// runnable work, so a backlogged tenant cannot starve a light one.
 	served int
 
+	// rejected counts this tenant's admission refusals by reason, so the
+	// daemon's per-tenant shed gauges can tell a rate-limited tenant from
+	// one crowded out by a full queue.
+	rejected map[Reason]uint64
+
 	// Token bucket (RatePerSec/Burst); tokens is a float so fractional
 	// refill accumulates precisely.
 	tokens   float64
@@ -150,16 +155,16 @@ func (q *Queue) enqueue(tenant string, priority int, payload any, rated bool) (s
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	if q.closed {
-		q.rejected[ReasonClosed]++
+		q.rejectLocked(tenant, ReasonClosed)
 		return 0, &RejectError{Reason: ReasonClosed, Tenant: tenant}
 	}
 	if q.queued >= q.cfg.Capacity {
-		q.rejected[ReasonQueueFull]++
+		q.rejectLocked(tenant, ReasonQueueFull)
 		return 0, &RejectError{Reason: ReasonQueueFull, Tenant: tenant, RetryAfter: time.Second}
 	}
 	ts := q.tenant(tenant)
 	if len(ts.items) >= q.cfg.PerTenant {
-		q.rejected[ReasonTenantQuota]++
+		q.rejectLocked(tenant, ReasonTenantQuota)
 		return 0, &RejectError{Reason: ReasonTenantQuota, Tenant: tenant, RetryAfter: time.Second}
 	}
 	if rated && q.cfg.RatePerSec > 0 {
@@ -167,7 +172,7 @@ func (q *Queue) enqueue(tenant string, priority int, payload any, rated bool) (s
 		ts.refill(now, q.cfg)
 		if ts.tokens < 1 {
 			wait := time.Duration(float64(time.Second) * (1 - ts.tokens) / q.cfg.RatePerSec)
-			q.rejected[ReasonRateLimited]++
+			q.rejectLocked(tenant, ReasonRateLimited)
 			return 0, &RejectError{Reason: ReasonRateLimited, Tenant: tenant, RetryAfter: wait}
 		}
 		ts.tokens--
@@ -230,6 +235,16 @@ func (q *Queue) Dequeue(ctx context.Context) (item *Item, ok bool) {
 	}
 }
 
+// rejectLocked bumps the queue-wide and per-tenant rejection counters.
+func (q *Queue) rejectLocked(tenant string, r Reason) {
+	q.rejected[r]++
+	ts := q.tenant(tenant)
+	if ts.rejected == nil {
+		ts.rejected = map[Reason]uint64{}
+	}
+	ts.rejected[r]++
+}
+
 // pickLocked selects the tenant to serve next: least served first, tenant
 // name as the deterministic tie-break.
 func (q *Queue) pickLocked() *tenantState {
@@ -263,9 +278,10 @@ func (q *Queue) Len() int {
 
 // TenantStats is one tenant's accounting snapshot.
 type TenantStats struct {
-	Tenant string `json:"tenant"`
-	Queued int    `json:"queued"`
-	Served int    `json:"served"`
+	Tenant   string            `json:"tenant"`
+	Queued   int               `json:"queued"`
+	Served   int               `json:"served"`
+	Rejected map[Reason]uint64 `json:"rejected,omitempty"`
 }
 
 // Stats is a queue accounting snapshot.
@@ -291,10 +307,17 @@ func (q *Queue) Stats() Stats {
 		s.Rejected[r] = n
 	}
 	for _, ts := range q.tenants {
-		if len(ts.items) == 0 && ts.served == 0 {
+		if len(ts.items) == 0 && ts.served == 0 && len(ts.rejected) == 0 {
 			continue
 		}
-		s.Tenants = append(s.Tenants, TenantStats{Tenant: ts.name, Queued: len(ts.items), Served: ts.served})
+		t := TenantStats{Tenant: ts.name, Queued: len(ts.items), Served: ts.served}
+		if len(ts.rejected) > 0 {
+			t.Rejected = map[Reason]uint64{}
+			for r, n := range ts.rejected {
+				t.Rejected[r] = n
+			}
+		}
+		s.Tenants = append(s.Tenants, t)
 	}
 	sort.Slice(s.Tenants, func(i, j int) bool { return s.Tenants[i].Tenant < s.Tenants[j].Tenant })
 	return s

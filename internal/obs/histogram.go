@@ -1,0 +1,155 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sync/atomic"
+)
+
+// Histogram is a fixed-bucket latency histogram safe for concurrent
+// Observe calls: each bucket is an atomic counter and the running sum is a
+// CAS loop over float64 bits, so recording costs two uncontended atomic
+// ops and no locks or allocation. It exposes itself in Prometheus text
+// format (cumulative le-buckets, _sum, _count) and can answer approximate
+// quantile queries by linear interpolation inside the winning bucket —
+// good enough for /statz summaries and load-test gates, not for billing.
+//
+// All methods are nil-receiver safe so a daemon with metrics disabled can
+// carry nil histograms and keep its hot paths branch-only.
+type Histogram struct {
+	name   string
+	help   string
+	bounds []float64 // strictly increasing upper bounds; +Inf is implicit
+	counts []atomic.Uint64
+	sum    atomic.Uint64 // float64 bits
+	count  atomic.Uint64
+}
+
+// DefaultLatencyBuckets covers 100µs to 60s, roughly logarithmic: wide
+// enough for admission decisions (sub-millisecond) and full synthesis runs
+// (seconds to a minute) on one scale.
+func DefaultLatencyBuckets() []float64 {
+	return []float64{
+		0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
+		0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60,
+	}
+}
+
+// NewHistogram returns a histogram named name with the given upper bounds
+// (must be strictly increasing; empty = DefaultLatencyBuckets). The +Inf
+// bucket is added implicitly.
+func NewHistogram(name, help string, bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		bounds = DefaultLatencyBuckets()
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("obs: histogram %s bounds not increasing at %d", name, i))
+		}
+	}
+	return &Histogram{
+		name:   name,
+		help:   help,
+		bounds: bounds,
+		counts: make([]atomic.Uint64, len(bounds)+1),
+	}
+}
+
+// Observe records one value (seconds for latency histograms).
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	// Binary search for the first bound >= v; the final slot is +Inf.
+	lo, hi := 0, len(h.bounds)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if v <= h.bounds[mid] {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	h.counts[lo].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		new := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, new) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sum.Load())
+}
+
+// Quantile returns an approximation of the q-quantile (0 < q <= 1) by
+// locating the bucket holding the q-th observation and interpolating
+// linearly inside it. Returns 0 with no observations; values landing in
+// the +Inf bucket report the largest finite bound.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	var cum uint64
+	for i := range h.counts {
+		n := h.counts[i].Load()
+		cum += n
+		if float64(cum) < rank {
+			continue
+		}
+		if i >= len(h.bounds) {
+			return h.bounds[len(h.bounds)-1]
+		}
+		lower := 0.0
+		if i > 0 {
+			lower = h.bounds[i-1]
+		}
+		if n == 0 {
+			return h.bounds[i]
+		}
+		frac := (rank - float64(cum-n)) / float64(n)
+		return lower + (h.bounds[i]-lower)*frac
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+// WriteProm writes the histogram in Prometheus text exposition format.
+// Concurrent Observe calls may land between bucket reads; the cumulative
+// counts are each individually consistent, which is all the format
+// promises anyway.
+func (h *Histogram) WriteProm(w io.Writer) {
+	if h == nil {
+		return
+	}
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", h.name, h.help, h.name)
+	var cum uint64
+	for i, b := range h.bounds {
+		cum += h.counts[i].Load()
+		fmt.Fprintf(w, "%s_bucket{le=\"%g\"} %d\n", h.name, b, cum)
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", h.name, cum)
+	fmt.Fprintf(w, "%s_sum %g\n", h.name, h.Sum())
+	fmt.Fprintf(w, "%s_count %d\n", h.name, h.count.Load())
+}

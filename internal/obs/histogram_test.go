@@ -1,0 +1,115 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestHistogramBucketsAndProm(t *testing.T) {
+	h := NewHistogram("test_seconds", "test latencies", []float64{0.01, 0.1, 1})
+	for _, v := range []float64{0.005, 0.05, 0.05, 0.5, 5} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d, want 5", h.Count())
+	}
+	if got, want := h.Sum(), 5.605; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("sum = %v, want %v", got, want)
+	}
+	var b strings.Builder
+	h.WriteProm(&b)
+	out := b.String()
+	// Cumulative le buckets: 1 <= 0.01, 3 <= 0.1, 4 <= 1, 5 <= +Inf.
+	for _, line := range []string{
+		"# TYPE test_seconds histogram",
+		`test_seconds_bucket{le="0.01"} 1`,
+		`test_seconds_bucket{le="0.1"} 3`,
+		`test_seconds_bucket{le="1"} 4`,
+		`test_seconds_bucket{le="+Inf"} 5`,
+		"test_seconds_count 5",
+	} {
+		if !strings.Contains(out, line) {
+			t.Errorf("exposition lacks %q:\n%s", line, out)
+		}
+	}
+}
+
+func TestHistogramBucketBoundaryIsInclusive(t *testing.T) {
+	h := NewHistogram("b", "", []float64{1, 2})
+	h.Observe(1) // exactly on a bound: le="1" must include it
+	var b strings.Builder
+	h.WriteProm(&b)
+	if !strings.Contains(b.String(), `b_bucket{le="1"} 1`) {
+		t.Fatalf("observation on the bound fell out of its bucket:\n%s", b.String())
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram("q", "", []float64{1, 2, 3, 4})
+	for i := 0; i < 100; i++ {
+		h.Observe(float64(i%4) + 0.5) // 25 each in (0,1], (1,2], (2,3], (3,4]
+	}
+	if p50 := h.Quantile(0.50); p50 < 1 || p50 > 3 {
+		t.Errorf("p50 = %v, want within [1,3]", p50)
+	}
+	if p99 := h.Quantile(0.99); p99 < 3 || p99 > 4 {
+		t.Errorf("p99 = %v, want within (3,4]", p99)
+	}
+	// Empty histogram: quantiles are 0, not NaN.
+	e := NewHistogram("e", "", nil)
+	if q := e.Quantile(0.5); q != 0 {
+		t.Errorf("empty quantile = %v, want 0", q)
+	}
+	// Overflow bucket: the quantile reports the largest finite bound rather
+	// than inventing a value beyond it.
+	o := NewHistogram("o", "", []float64{1})
+	o.Observe(100)
+	if q := o.Quantile(0.99); q != 1 {
+		t.Errorf("overflow quantile = %v, want the largest finite bound 1", q)
+	}
+}
+
+func TestHistogramNilSafe(t *testing.T) {
+	var h *Histogram
+	h.Observe(1) // must not panic
+	if h.Count() != 0 || h.Sum() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatal("nil histogram reports non-zero aggregates")
+	}
+}
+
+func TestHistogramRejectsBadBounds(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-increasing bounds did not panic")
+		}
+	}()
+	NewHistogram("bad", "", []float64{1, 1})
+}
+
+func TestHistogramConcurrentObserve(t *testing.T) {
+	h := NewHistogram("c", "", nil)
+	const goroutines, per = 8, 1000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(float64(g+1) * 0.001)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if h.Count() != goroutines*per {
+		t.Fatalf("count = %d, want %d", h.Count(), goroutines*per)
+	}
+	want := 0.0
+	for g := 0; g < goroutines; g++ {
+		want += float64(g+1) * 0.001 * per
+	}
+	if math.Abs(h.Sum()-want) > 1e-6 {
+		t.Fatalf("sum = %v, want %v", h.Sum(), want)
+	}
+}

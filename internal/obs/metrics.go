@@ -1,9 +1,11 @@
 package obs
 
 import (
+	"expvar"
 	"fmt"
 	"net/http"
 	"sort"
+	"sync"
 	"sync/atomic"
 )
 
@@ -13,13 +15,69 @@ import (
 //
 //	m := &obs.Metrics{}
 //	opts.Progress = m.Update
-//	expvar.Publish("turbosyn", expvar.Func(m.Expvar))
+//	release := m.PublishExpvar("")  // or a run-id-scoped name
+//	defer release()
 //	http.Handle("/metrics", m)
 //
 // Update is one atomic pointer store, so the callback adds nothing
 // measurable to the snapshot path.
 type Metrics struct {
 	cur atomic.Pointer[Snapshot]
+}
+
+// expvarSlots backs PublishExpvar: expvar.Publish panics on a duplicate
+// name and has no unpublish, so each name is published to the standard
+// registry exactly once, as an indirection through a swappable function
+// pointer. Re-publishing a name swaps the target; releasing swaps in nil.
+var (
+	expvarMu    sync.Mutex
+	expvarSlots = map[string]*atomic.Pointer[func() any]{}
+)
+
+// PublishExpvar registers fn in the process-wide expvar registry under
+// name, idempotently: unlike expvar.Publish, publishing the same name
+// again never panics — the previous function is replaced (last writer
+// wins). This is what lets many engine runs live in one daemon process.
+// The returned release function detaches fn (the expvar value then reads
+// as null) and frees the reference; calling it more than once is safe,
+// and a later re-publish of the name wins over an earlier release.
+func PublishExpvar(name string, fn func() any) (release func()) {
+	expvarMu.Lock()
+	slot, ok := expvarSlots[name]
+	if !ok {
+		slot = &atomic.Pointer[func() any]{}
+		expvarSlots[name] = slot
+		expvar.Publish(name, expvar.Func(func() any {
+			if f := slot.Load(); f != nil && *f != nil {
+				return (*f)()
+			}
+			return nil
+		}))
+	}
+	slot.Store(&fn)
+	expvarMu.Unlock()
+	return func() {
+		// Release only if fn is still the published target; a newer
+		// publish under the same name must not be torn down by an old
+		// release.
+		expvarMu.Lock()
+		if slot.Load() == &fn {
+			slot.Store(nil)
+		}
+		expvarMu.Unlock()
+	}
+}
+
+// PublishExpvar publishes the metrics' latest snapshot under
+// "turbosyn.<scope>" (or plain "turbosyn" for an empty scope). Scope it by
+// run id when several engines share a process — the daemon's debug mux
+// does — so concurrent runs never clobber each other's series.
+func (m *Metrics) PublishExpvar(scope string) (release func()) {
+	name := "turbosyn"
+	if scope != "" {
+		name = "turbosyn." + scope
+	}
+	return PublishExpvar(name, m.Expvar)
 }
 
 // Update records the latest snapshot; use it directly as the progress

@@ -70,6 +70,27 @@ const (
 	OpCacheLoad
 	OpCacheFlush
 
+	// Daemon ops: the serving layer (internal/server) records these into a
+	// per-job ring sharing the recorder — and therefore the clock — of the
+	// engine run, so one trace shows admission, queueing and synthesis on a
+	// single timeline.
+
+	// OpAdmit is the admission decision span, from request arrival to the
+	// 202/reject (arg A = 1 accepted / 0 rejected).
+	OpAdmit
+	// OpQueueWait is the span a job spent in the tenant-fair queue, closed
+	// when a worker dequeues it (A = -1) or when drain sheds it (A = 0).
+	OpQueueWait
+	// OpJournal is one journal append (arg A = 0 accepted-record,
+	// 1 terminal-record; B = -1 when the append failed).
+	OpJournal
+	// OpDispatch is the worker's job execution span, wrapping the engine run
+	// (arg A = 1 done / 0 failed).
+	OpDispatch
+	// OpShed is the instant a job was shed without running (drain, failed
+	// recovery, queue rejection after acceptance).
+	OpShed
+
 	// NumOps bounds the enum; keep it last.
 	NumOps
 )
@@ -78,6 +99,7 @@ var opNames = [NumOps]string{
 	"label", "expand", "flow", "decompose", "pld",
 	"component", "probe", "map", "cache-hit", "cache-miss",
 	"degradation", "cancel", "cache-load", "cache-flush",
+	"admission", "queue-wait", "journal", "dispatch", "shed",
 }
 
 func (o Op) String() string {

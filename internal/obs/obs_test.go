@@ -3,6 +3,8 @@ package obs
 import (
 	"bytes"
 	"encoding/json"
+	"expvar"
+	"fmt"
 	"net/http/httptest"
 	"strings"
 	"sync/atomic"
@@ -147,5 +149,57 @@ func TestMetricsPrometheusText(t *testing.T) {
 		if !strings.Contains(body, want) {
 			t.Errorf("metrics output lacks %q:\n%s", want, body)
 		}
+	}
+}
+
+// TestPublishExpvarIdempotent pins the fix for the expvar name-collision
+// hazard: expvar.Publish panics on a duplicate name, so a daemon hosting
+// many engine runs (or a test constructing several Metrics) used to crash
+// on the second registration. PublishExpvar must tolerate any number of
+// publishes — same name or run-id-scoped names — with last-writer-wins
+// reads and releases that never tear down a newer publication.
+func TestPublishExpvarIdempotent(t *testing.T) {
+	// Same name, many publishers: no panic, last writer wins.
+	var rel []func()
+	for i := 0; i < 5; i++ {
+		m := &Metrics{}
+		m.Update(Snapshot{RunID: fmt.Sprintf("run-%d", i)})
+		rel = append(rel, m.PublishExpvar(""))
+	}
+	v := expvar.Get("turbosyn")
+	if v == nil {
+		t.Fatal("turbosyn not in the expvar registry")
+	}
+	if !strings.Contains(v.String(), "run-4") {
+		t.Fatalf("expvar reads %s, want the last publisher (run-4)", v.String())
+	}
+	// A stale release must not tear down the live publication...
+	rel[0]()
+	if !strings.Contains(expvar.Get("turbosyn").String(), "run-4") {
+		t.Fatal("stale release tore down the live publication")
+	}
+	// ...while the live one's release detaches it (value reads null).
+	rel[4]()
+	if s := expvar.Get("turbosyn").String(); !strings.Contains(s, "null") {
+		t.Fatalf("released expvar reads %s, want null", s)
+	}
+
+	// Run-id-scoped names coexist: concurrent runs never clobber each other.
+	a, b := &Metrics{}, &Metrics{}
+	a.Update(Snapshot{RunID: "job-a"})
+	b.Update(Snapshot{RunID: "job-b"})
+	relA, relB := a.PublishExpvar("job-a"), b.PublishExpvar("job-b")
+	defer relA()
+	defer relB()
+	if !strings.Contains(expvar.Get("turbosyn.job-a").String(), "job-a") ||
+		!strings.Contains(expvar.Get("turbosyn.job-b").String(), "job-b") {
+		t.Fatal("run-id-scoped publications clobbered each other")
+	}
+	// Re-publishing a released name revives it.
+	c := &Metrics{}
+	c.Update(Snapshot{RunID: "revived"})
+	defer c.PublishExpvar("")()
+	if !strings.Contains(expvar.Get("turbosyn").String(), "revived") {
+		t.Fatal("re-publish after release did not revive the name")
 	}
 }

@@ -78,6 +78,23 @@ func argsFor(op Op, a, b int64) map[string]any {
 		if b < 0 {
 			args["error"] = true
 		}
+	case OpAdmit:
+		args["accepted"] = a == 1
+	case OpQueueWait:
+		if a == 0 {
+			args["shed"] = true
+		}
+	case OpJournal:
+		if a == 1 {
+			args["record"] = "terminal"
+		} else {
+			args["record"] = "accepted"
+		}
+		if b < 0 {
+			args["error"] = true
+		}
+	case OpDispatch:
+		args["done"] = a == 1
 	}
 	if len(args) == 0 {
 		return nil

@@ -7,12 +7,16 @@ package server
 import (
 	"context"
 	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
 	"testing"
 	"time"
 
 	"turbosyn/internal/core"
 	"turbosyn/internal/faultinject"
 	"turbosyn/internal/jobqueue"
+	"turbosyn/internal/traceval"
 )
 
 // TestChaosPanicJobFleetSurvives: a job that panics inside the execution
@@ -279,5 +283,153 @@ func TestChaosDrainDeadlineCancelsInFlight(t *testing.T) {
 	st := s.Stats()
 	if st.Accepted != st.Done+st.Failed+st.Shed {
 		t.Errorf("accounting after deadline drain: %+v", st)
+	}
+}
+
+// chaosTrace fetches a job's trace over the HTTP surface and validates it,
+// failing the test on any non-200 or a trace that does not check out. Chaos
+// must not cost observability: the traces of poisoned, shed, and recovered
+// jobs are exactly the ones worth reading.
+func chaosTrace(t *testing.T, base, id string) *traceval.Trace {
+	t.Helper()
+	resp, err := http.Get(base + "/jobs/" + id + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("%s: trace fetch status %d: %s", id, resp.StatusCode, data)
+	}
+	tr, err := traceval.Check(data)
+	if err != nil {
+		t.Fatalf("%s: trace does not validate: %v", id, err)
+	}
+	return tr
+}
+
+// TestChaosPanicJobTraceStillValid: a job that panics mid-run still yields a
+// downloadable trace that passes validation and carries the full daemon
+// lifecycle — finishJob runs from the recover fence, so the rings are
+// finalized before the terminal status licenses the read. The flight
+// recorder survives the crash it recorded.
+func TestChaosPanicJobTraceStillValid(t *testing.T) {
+	s := testServer(t, Config{Fleet: 1})
+	s.Start()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	_, deactivate := faultinject.Activate(faultinject.Config{PanicAtJob: 1})
+	defer deactivate()
+
+	job, err := s.Submit(quickSpec("t"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-job.done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("poisoned job never finished")
+	}
+	if st := job.Status(); st.State != StateFailed || st.Error.Kind != KindInternal {
+		t.Fatalf("poisoned job: %s (%+v), want failed/%s", st.State, st.Error, KindInternal)
+	}
+	tr := chaosTrace(t, ts.URL, job.ID)
+	counts := tr.Counts()
+	// The daemon side of the timeline is complete even though the engine
+	// side stops where the panic cut it off.
+	for span, want := range map[string]int{"admission": 1, "queue-wait": 1, "dispatch": 1, "journal": 2} {
+		if counts[span] != want {
+			t.Errorf("poisoned trace: %d %q spans, want %d (counts: %v)", counts[span], span, want, counts)
+		}
+	}
+	if tr.OtherData["runID"] != job.ID {
+		t.Errorf("poisoned trace runID = %v, want %s", tr.OtherData["runID"], job.ID)
+	}
+
+	// The worker that absorbed the panic keeps recording: the next job's
+	// trace is whole, engine spans included.
+	job2, err := s.Submit(quickSpec("t"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-job2.done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("post-panic job never finished")
+	}
+	if counts := chaosTrace(t, ts.URL, job2.ID).Counts(); counts["flow"] == 0 || counts["map"] == 0 {
+		t.Errorf("post-panic trace lacks engine spans (counts: %v)", counts)
+	}
+}
+
+// TestChaosKillDuringDrainTracesRecoverable: observability on both sides of
+// a crash — jobs shed by a drain with a dead disk still serve valid traces
+// recording the shed, and after restart the recovered re-runs serve fresh
+// valid traces with engine spans.
+func TestChaosKillDuringDrainTracesRecoverable(t *testing.T) {
+	dir := t.TempDir()
+	s1, err := New(Config{Fleet: 1, JournalDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ids []string
+	for i := 0; i < 3; i++ {
+		job, err := s1.Submit(quickSpec("t"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, job.ID)
+	}
+	_, deactivate := faultinject.Activate(faultinject.Config{JournalFailAt: 1, JournalFailAll: true})
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	if err := s1.Drain(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	cancel()
+	deactivate()
+
+	ts1 := httptest.NewServer(s1.Handler())
+	for _, id := range ids {
+		tr := chaosTrace(t, ts1.URL, id)
+		counts := tr.Counts()
+		if counts["admission"] != 1 || counts["shed"] != 1 {
+			t.Errorf("%s: shed trace counts %v, want 1 admission + 1 shed marker", id, counts)
+		}
+		if counts["dispatch"] != 0 {
+			t.Errorf("%s: shed trace claims a dispatch that never happened (counts: %v)", id, counts)
+		}
+	}
+	ts1.Close()
+
+	s2, err := New(Config{Fleet: 1, JournalDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	s2.Start()
+	ts2 := httptest.NewServer(s2.Handler())
+	defer ts2.Close()
+	for _, id := range ids {
+		job, ok := s2.Job(id)
+		if !ok {
+			t.Fatalf("%s lost across kill-during-drain", id)
+		}
+		select {
+		case <-job.done:
+		case <-time.After(30 * time.Second):
+			t.Fatalf("%s never finished after recovery", id)
+		}
+		if st := job.Status(); st.State != StateDone {
+			t.Fatalf("%s: %s (%+v)", id, st.State, st.Error)
+		}
+		counts := chaosTrace(t, ts2.URL, id).Counts()
+		// Recovered jobs skip Submit (no admission span — they re-enter via
+		// the journal) but run for real: dispatch and engine spans present.
+		if counts["dispatch"] != 1 || counts["queue-wait"] != 1 {
+			t.Errorf("%s: recovered trace counts %v, want 1 dispatch + 1 queue-wait", id, counts)
+		}
+		if counts["flow"] == 0 || counts["map"] == 0 {
+			t.Errorf("%s: recovered trace lacks engine spans (counts: %v)", id, counts)
+		}
 	}
 }

@@ -147,6 +147,53 @@ func (c *Client) Status(ctx context.Context, id string) (*JobStatus, error) {
 	return &st, nil
 }
 
+// streamHTTPClient serves progress streams: no overall timeout (the
+// configured HTTPClient's response deadline would sever a stream mid-job);
+// the request context bounds it instead.
+var streamHTTPClient = &http.Client{}
+
+// Stream follows the job's push-based NDJSON progress stream: fn (when
+// non-nil) observes every delivered status, and the terminal status is
+// returned. When the stream cannot be established or breaks before a
+// terminal line (transport hiccup, mid-stream daemon restart), Stream
+// falls back to polling Wait, so the terminal status is never missed —
+// only intermediate updates can be.
+func (c *Client) Stream(ctx context.Context, id string, fn func(JobStatus)) (*JobStatus, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+"/jobs/"+id+"/progress", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := streamHTTPClient.Do(req)
+	if err != nil {
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		return c.Wait(ctx, id, 0)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		readError(resp)
+		return c.Wait(ctx, id, 0)
+	}
+	dec := json.NewDecoder(resp.Body)
+	for {
+		var st JobStatus
+		if err := dec.Decode(&st); err != nil {
+			break
+		}
+		if fn != nil {
+			fn(st)
+		}
+		if st.State.Terminal() {
+			return &st, nil
+		}
+	}
+	if ctx.Err() != nil {
+		return nil, ctx.Err()
+	}
+	return c.Wait(ctx, id, 0)
+}
+
 // Wait polls until the job reaches a terminal state (or ctx expires).
 func (c *Client) Wait(ctx context.Context, id string, poll time.Duration) (*JobStatus, error) {
 	if poll <= 0 {
@@ -183,15 +230,22 @@ func (c *Client) Result(ctx context.Context, id string) ([]byte, error) {
 	return io.ReadAll(resp.Body)
 }
 
-// Run submits the job, waits for it, and — on success — fetches the
-// netlist. A failed job returns the status (with its typed error) and a
-// non-nil error raised from the wire taxonomy.
+// Run submits the job, follows its push progress stream to the terminal
+// status, and — on success — fetches the netlist. A failed job returns the
+// status (with its typed error) and a non-nil error raised from the wire
+// taxonomy.
 func (c *Client) Run(ctx context.Context, spec JobSpec) (*JobStatus, []byte, error) {
+	return c.RunStreaming(ctx, spec, nil)
+}
+
+// RunStreaming is Run with a progress observer: fn sees every status line
+// the daemon pushes (nil is allowed).
+func (c *Client) RunStreaming(ctx context.Context, spec JobSpec, fn func(JobStatus)) (*JobStatus, []byte, error) {
 	id, err := c.Submit(ctx, spec)
 	if err != nil {
 		return nil, nil, err
 	}
-	st, err := c.Wait(ctx, id, 0)
+	st, err := c.Stream(ctx, id, fn)
 	if err != nil {
 		return nil, nil, err
 	}

@@ -1,0 +1,25 @@
+package server
+
+import (
+	"expvar"
+	"net/http"
+	"net/http/pprof"
+)
+
+// DebugHandler is the opt-in debug mux: net/http/pprof profiles and the
+// process expvar registry (which carries the run-scoped engine metrics
+// published via obs.PublishExpvar, plus anything the host registered).
+// It is deliberately separate from Handler — profiles and vars expose
+// internals no tenant should see, so cmd/turbosynd serves this only on
+// -debug-addr, which an operator binds to localhost or a management
+// network, never the public API address.
+func DebugHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	return mux
+}

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"sort"
 	"strconv"
 	"time"
 
@@ -20,7 +21,8 @@ const maxBody = 16 << 20
 //	GET  /jobs               list job statuses (?tenant= filters)
 //	GET  /jobs/{id}          job status (JobStatus JSON)
 //	GET  /jobs/{id}/result   finished netlist (BLIF text)
-//	GET  /jobs/{id}/progress NDJSON progress stream until terminal
+//	GET  /jobs/{id}/progress push NDJSON progress stream until terminal
+//	GET  /jobs/{id}/trace    stitched Perfetto trace (terminal jobs)
 //	GET  /healthz            {"status": "ok" | "draining"}
 //	GET  /statz              daemon + queue accounting (Stats JSON)
 //	GET  /metrics            Prometheus text exposition
@@ -34,6 +36,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /jobs/{id}", s.handleStatus)
 	mux.HandleFunc("GET /jobs/{id}/result", s.handleResult)
 	mux.HandleFunc("GET /jobs/{id}/progress", s.handleProgress)
+	mux.HandleFunc("GET /jobs/{id}/trace", s.handleTrace)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.HandleFunc("GET /statz", s.handleStatz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -57,7 +60,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 				status = http.StatusServiceUnavailable
 				retry = time.Second
 			}
-			w.Header().Set("Retry-After", strconv.Itoa(int((retry + time.Second - 1) / time.Second)))
+			w.Header().Set("Retry-After", strconv.Itoa(int((retry+time.Second-1)/time.Second)))
 			httpError(w, status, err.Error())
 			return
 		}
@@ -111,43 +114,66 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	w.Write(blif)
 }
 
-// handleProgress streams the job's status as newline-delimited JSON: one
-// line per poll tick while the job runs, and a final line once it reaches a
-// terminal state. The interval comes from ?interval_ms (default 200,
-// clamped to [50, 5000]).
+// handleProgress streams the job's status as newline-delimited JSON,
+// push-driven: the first line is the current status, then one line per
+// state change or engine progress snapshot as it happens (no server-side
+// polling), ending with the terminal status. A slow reader loses
+// intermediate lines (drop-oldest, see Job.Subscribe), never the terminal
+// one. The legacy ?interval_ms parameter is accepted and ignored.
 func (s *Server) handleProgress(w http.ResponseWriter, r *http.Request) {
 	job, ok := s.Job(r.PathValue("id"))
 	if !ok {
 		httpError(w, http.StatusNotFound, "no such job")
 		return
 	}
-	interval := 200 * time.Millisecond
-	if ms, err := strconv.Atoi(r.URL.Query().Get("interval_ms")); err == nil {
-		interval = time.Duration(min(max(ms, 50), 5000)) * time.Millisecond
-	}
+	updates, cancel := job.Subscribe(32)
+	defer cancel()
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	flusher, _ := w.(http.Flusher)
 	enc := json.NewEncoder(w)
-	tick := time.NewTicker(interval)
-	defer tick.Stop()
 	for {
-		st := job.Status()
-		if err := enc.Encode(st); err != nil {
-			return
-		}
-		if flusher != nil {
-			flusher.Flush()
-		}
-		if st.State.Terminal() {
-			return
-		}
 		select {
-		case <-tick.C:
-		case <-job.done:
-			// Deliver the terminal line promptly instead of waiting a tick.
+		case st, ok := <-updates:
+			if !ok {
+				return
+			}
+			if err := enc.Encode(st); err != nil {
+				return
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+			if st.State.Terminal() {
+				return
+			}
 		case <-r.Context().Done():
 			return
 		}
+	}
+}
+
+// handleTrace serves the job's stitched daemon+engine Perfetto trace. Only
+// terminal jobs are served: the rings are quiescent then (finishJob writes
+// the last daemon span before the terminal state becomes visible, and the
+// engine joins its workers before returning), which is the precondition of
+// WriteTrace. 409 while the job is still moving.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	if job.rec == nil {
+		httpError(w, http.StatusNotFound, "per-job tracing is disabled (TraceRingCap < 0)")
+		return
+	}
+	if st := job.Status(); !st.State.Terminal() {
+		httpError(w, http.StatusConflict, fmt.Sprintf("job is %s; trace is served once the job is terminal", st.State))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := job.rec.WriteTrace(w, job.ID); err != nil {
+		s.logf("trace write failed", "job", job.ID, "err", err.Error())
 	}
 }
 
@@ -184,16 +210,42 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	emit("turbosynd_jobs_shed_total", "counter", "accepted jobs shed unstarted", float64(st.Shed))
 	emit("turbosynd_jobs_recovered_total", "counter", "jobs re-admitted from the journal", float64(st.Recovered))
 	emit("turbosynd_jobs_running", "gauge", "jobs currently executing", float64(st.Running))
+	emit("turbosynd_fleet_size", "gauge", "worker-fleet size", float64(st.FleetSize))
+	emit("turbosynd_fleet_occupancy", "gauge", "running jobs over fleet size (0..1)", st.Occupancy)
 	emit("turbosynd_queue_depth", "gauge", "jobs queued awaiting a worker", float64(st.Queue.Queued))
 	emit("turbosynd_mem_reserved_bytes", "gauge", "summed arena reservations of admitted jobs", float64(st.MemReserved))
 	emit("turbosynd_draining", "gauge", "1 while the daemon refuses new work", b(st.Draining))
 	for _, reason := range []jobqueue.Reason{jobqueue.ReasonQueueFull, jobqueue.ReasonTenantQuota, jobqueue.ReasonRateLimited, jobqueue.ReasonClosed} {
 		fmt.Fprintf(w, "turbosynd_jobs_rejected_total{reason=%q} %d\n", string(reason), st.Queue.Rejected[reason])
 	}
-	for _, ts := range st.Queue.Tenants {
-		fmt.Fprintf(w, "turbosynd_tenant_served_total{tenant=%q} %d\n", ts.Tenant, ts.Served)
-		fmt.Fprintf(w, "turbosynd_tenant_queued{tenant=%q} %d\n", ts.Tenant, ts.Queued)
+	// Per-tenant gauges: queue position, occupancy, fair-share standing and
+	// the shed/reject breakdown (reason maps are sorted for a stable
+	// exposition).
+	for _, ti := range st.Tenants {
+		fmt.Fprintf(w, "turbosynd_tenant_served_total{tenant=%q} %d\n", ti.Tenant, ti.Served)
+		fmt.Fprintf(w, "turbosynd_tenant_queued{tenant=%q} %d\n", ti.Tenant, ti.Queued)
+		fmt.Fprintf(w, "turbosynd_tenant_running{tenant=%q} %d\n", ti.Tenant, ti.Running)
+		fmt.Fprintf(w, "turbosynd_tenant_fair_share_deficit{tenant=%q} %d\n", ti.Tenant, ti.FairShareDeficit)
+		for _, reason := range sortedKeys(ti.ShedByReason) {
+			fmt.Fprintf(w, "turbosynd_tenant_shed_total{tenant=%q,reason=%q} %d\n", ti.Tenant, reason, ti.ShedByReason[reason])
+		}
+		for _, reason := range sortedKeys(ti.Rejected) {
+			fmt.Fprintf(w, "turbosynd_tenant_rejected_total{tenant=%q,reason=%q} %d\n", ti.Tenant, reason, ti.Rejected[reason])
+		}
 	}
+	// Lifecycle latency histograms.
+	for _, h := range s.metrics.all() {
+		h.WriteProm(w)
+	}
+}
+
+func sortedKeys(m map[string]uint64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }
 
 func writeJSON(w http.ResponseWriter, v any) {

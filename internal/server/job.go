@@ -236,25 +236,74 @@ type Job struct {
 	snap atomic.Pointer[obs.Snapshot] // latest progress snapshot while running
 	done chan struct{}                // closed on entering a terminal state
 
+	// Stitched trace: rec is the job's span recorder, shared between ring
+	// (the daemon's own admission/queue/journal/dispatch spans) and the
+	// engine's worker rings (execJob hands rec to the engine as
+	// Options.Trace), so one WriteTrace emits daemon and synthesis activity
+	// on a single timeline. ring keeps obs's one-goroutine-at-a-time
+	// ownership because the job itself is handed off sequentially: the
+	// submitting handler writes before Enqueue, the worker after Dequeue,
+	// and finishJob last — each hand-off is a happens-before edge (queue
+	// mutex, state mutex). Both are nil when tracing is disabled.
+	rec  *obs.Recorder
+	ring *obs.Ring
+	// enqueuedAt (recorder clock) anchors the queue-wait span; 0 means the
+	// job never reached the queue. dispatchStart anchors the dispatch span;
+	// 0 means no worker picked the job up (it was shed). started is the
+	// wall-clock dispatch time feeding the run-time histogram.
+	enqueuedAt    int64
+	dispatchStart int64
+	started       time.Time
+
+	// Push progress fan-out (Subscribe/publish): every state change and
+	// engine progress snapshot is delivered to each subscriber's bounded
+	// channel, dropping the oldest buffered entry when a slow reader falls
+	// behind; the terminal status is always delivered, exactly once, and
+	// then the channels close.
+	subMu      sync.Mutex
+	subs       []*subscriber
+	subsClosed bool
+
 	// recovered marks a job re-admitted from the journal after a restart.
 	recovered bool
 }
 
-func newJob(id string, seq uint64, spec JobSpec, now time.Time) *Job {
+// newJob builds a job; traceCap > 0 equips it with a stitched-trace
+// recorder of that per-ring capacity.
+func newJob(id string, seq uint64, spec JobSpec, now time.Time, traceCap int) *Job {
 	j := &Job{ID: id, Seq: seq, Spec: spec, Queued: now, state: StateQueued, done: make(chan struct{})}
+	if traceCap > 0 {
+		j.rec = obs.NewRecorder(traceCap)
+		j.ring = j.rec.NewRing("daemon")
+	}
 	return j
 }
 
-// setState advances the FSM (non-terminal transitions).
+// traceNow reads the job's trace clock (0 when tracing is disabled).
+func (j *Job) traceNow() int64 {
+	if j.rec == nil {
+		return 0
+	}
+	return j.rec.Now()
+}
+
+// setState advances the FSM (non-terminal transitions) and pushes the new
+// status to progress subscribers.
 func (j *Job) setState(s State) {
 	j.mu.Lock()
-	if !j.state.Terminal() {
+	changed := !j.state.Terminal() && j.state != s
+	if changed {
 		j.state = s
 	}
 	j.mu.Unlock()
+	if changed {
+		j.publish(j.Status())
+	}
 }
 
-// finish moves the job to a terminal state exactly once.
+// finish moves the job to a terminal state exactly once. The terminal
+// status reaches every progress subscriber exactly once — publish closes
+// the subscription channels right after delivering it.
 func (j *Job) finish(s State, meta ResultMeta, blif []byte, errInfo *ErrorInfo) {
 	j.mu.Lock()
 	if j.state.Terminal() {
@@ -264,6 +313,88 @@ func (j *Job) finish(s State, meta ResultMeta, blif []byte, errInfo *ErrorInfo) 
 	j.state, j.meta, j.result, j.err = s, meta, blif, errInfo
 	j.mu.Unlock()
 	close(j.done)
+	j.publish(j.Status())
+}
+
+// subscriber is one progress-stream listener.
+type subscriber struct {
+	ch      chan JobStatus
+	dropped uint64
+}
+
+// Subscribe registers a push listener: the returned channel carries the
+// job's current status immediately, then every subsequent state change and
+// progress snapshot, and closes after the terminal status. buf bounds the
+// per-subscriber buffer (<=0 = 16); a reader that falls behind loses the
+// oldest buffered updates, never the terminal one. The cancel function
+// detaches (and closes) the channel early; calling it after the job
+// finished is a no-op.
+func (j *Job) Subscribe(buf int) (<-chan JobStatus, func()) {
+	if buf <= 0 {
+		buf = 16
+	}
+	j.subMu.Lock()
+	st := j.Status()
+	if j.subsClosed {
+		// Terminal before we subscribed: deliver the final status once and
+		// close, same contract as a live subscription.
+		j.subMu.Unlock()
+		ch := make(chan JobStatus, 1)
+		ch <- st
+		close(ch)
+		return ch, func() {}
+	}
+	sub := &subscriber{ch: make(chan JobStatus, buf)}
+	sub.ch <- st
+	j.subs = append(j.subs, sub)
+	j.subMu.Unlock()
+	return sub.ch, func() { j.unsubscribe(sub) }
+}
+
+func (j *Job) unsubscribe(sub *subscriber) {
+	j.subMu.Lock()
+	defer j.subMu.Unlock()
+	for i, s := range j.subs {
+		if s == sub {
+			j.subs = append(j.subs[:i], j.subs[i+1:]...)
+			close(sub.ch)
+			return
+		}
+	}
+}
+
+// publish delivers st to every subscriber, evicting the oldest buffered
+// status of a slow reader to make room (the channel never blocks the
+// publisher). A terminal status also closes every subscription: after it,
+// Subscribe hands new callers a pre-closed channel carrying the final
+// status.
+func (j *Job) publish(st JobStatus) {
+	j.subMu.Lock()
+	defer j.subMu.Unlock()
+	if j.subsClosed {
+		return
+	}
+	for _, sub := range j.subs {
+		select {
+		case sub.ch <- st:
+		default:
+			// Full: evict the oldest entry. Publishers are serialized under
+			// subMu and the consumer only drains, so the retry cannot block.
+			select {
+			case <-sub.ch:
+				sub.dropped++
+			default:
+			}
+			sub.ch <- st
+		}
+	}
+	if st.State.Terminal() {
+		for _, sub := range j.subs {
+			close(sub.ch)
+		}
+		j.subs = nil
+		j.subsClosed = true
+	}
 }
 
 // Snapshot returns the job's latest progress snapshot (zero before the job

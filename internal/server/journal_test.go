@@ -1,6 +1,7 @@
 package server
 
 import (
+	"fmt"
 	"os"
 	"path/filepath"
 	"testing"
@@ -72,7 +73,7 @@ func TestJournalRoundTrip(t *testing.T) {
 }
 
 func newJobForTest(id string, seq uint64, spec JobSpec) *Job {
-	return newJob(id, seq, spec, time.Time{})
+	return newJob(id, seq, spec, time.Time{}, 0)
 }
 
 func TestJournalTruncationLoadsPrefix(t *testing.T) {
@@ -207,5 +208,87 @@ func TestJournalWriteFaultInjection(t *testing.T) {
 	defer deactivate()
 	if err := j.Accepted(newJobForTest(jobID(1), 1, JobSpec{Tenant: "t", BLIF: "x"})); err == nil {
 		t.Fatal("injected journal fault did not surface")
+	}
+}
+
+// TestJournalCompactionConcurrentWithAppends pins the compaction/append
+// interaction. CompactJournal is temp-file + rename, so it never corrupts
+// the journal even while an open handle is appending — but appends that
+// land after the rename go to the old, now-unlinked inode and are
+// invisible to the next load. That is exactly why the daemon compacts only
+// during startup (LoadJournal -> CompactJournal -> OpenJournal), before
+// any handle is open; this test documents the contract the startup
+// sequence relies on.
+func TestJournalCompactionConcurrentWithAppends(t *testing.T) {
+	dir := t.TempDir()
+	j, err := OpenJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+
+	// Phase 1: appends racing a compaction must never produce a journal the
+	// loader rejects or truncates mid-prefix — whatever interleaving, every
+	// load sees a clean log.
+	pending := []PendingJob{{ID: "j-00000001", Seq: 1, Spec: JobSpec{Tenant: "t", BLIF: "x"}}}
+	stop := make(chan struct{})
+	appendErr := make(chan error, 1)
+	go func() {
+		defer close(appendErr)
+		for i := 2; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			id := fmt.Sprintf("j-%08d", i)
+			if err := j.Accepted(newJobForTest(id, uint64(i), JobSpec{Tenant: "t", BLIF: "x"})); err != nil {
+				appendErr <- err
+				return
+			}
+		}
+	}()
+	for i := 0; i < 20; i++ {
+		if err := CompactJournal(dir, pending); err != nil {
+			t.Fatalf("compaction %d: %v", i, err)
+		}
+		if _, _, err := LoadJournal(dir); err != nil {
+			t.Fatalf("load after compaction %d: %v", i, err)
+		}
+	}
+	close(stop)
+	if err := <-appendErr; err != nil {
+		t.Fatalf("concurrent append: %v", err)
+	}
+
+	// Phase 2 (deterministic): after a final compaction, appends through the
+	// still-open pre-rename handle land on the unlinked inode — the next
+	// load sees exactly the compacted set, nothing more.
+	if err := CompactJournal(dir, pending); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Accepted(newJobForTest("j-00999999", 999999, JobSpec{Tenant: "ghost", BLIF: "x"})); err != nil {
+		t.Fatalf("append to the unlinked inode still returns success (buffered by the fs): %v", err)
+	}
+	got, maxSeq, err := LoadJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].ID != "j-00000001" || maxSeq != 1 {
+		t.Fatalf("after compaction+stale append: pending=%+v maxSeq=%d, want exactly the compacted set", got, maxSeq)
+	}
+
+	// A journal reopened on the compacted file appends visibly again.
+	j2, err := OpenJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j2.Accepted(newJobForTest("j-00000002", 2, JobSpec{Tenant: "t", BLIF: "x"})); err != nil {
+		t.Fatal(err)
+	}
+	j2.Close()
+	got, maxSeq, err = LoadJournal(dir)
+	if err != nil || len(got) != 2 || maxSeq != 2 {
+		t.Fatalf("reopened journal: pending=%d maxSeq=%d err=%v, want 2 pending", len(got), maxSeq, err)
 	}
 }

@@ -1,0 +1,180 @@
+// Daemon metrics: latency histograms over the job lifecycle stages and
+// per-tenant occupancy accounting. The histograms are obs.Histogram — lock
+// free, dependency free — observed inline at the stage boundaries
+// (Submit, dequeue, finishJob, journal appends); /metrics exposes them in
+// Prometheus text form and /statz summarizes them (count, sum, p50, p99).
+package server
+
+import (
+	"sort"
+
+	"turbosyn/internal/jobqueue"
+	"turbosyn/internal/obs"
+)
+
+// daemonMetrics holds the lifecycle latency histograms.
+type daemonMetrics struct {
+	admission *obs.Histogram // Submit entry to accept/reject
+	queueWait *obs.Histogram // enqueue to worker dequeue
+	run       *obs.Histogram // worker dispatch to terminal
+	journal   *obs.Histogram // one journal append (accepted or terminal)
+}
+
+func newDaemonMetrics() daemonMetrics {
+	return daemonMetrics{
+		admission: obs.NewHistogram("turbosynd_admission_seconds",
+			"admission-decision latency (accepts and rejections)", nil),
+		queueWait: obs.NewHistogram("turbosynd_queue_wait_seconds",
+			"time jobs spent queued before a worker picked them up", nil),
+		run: obs.NewHistogram("turbosynd_run_seconds",
+			"worker-side job execution time (dispatch to terminal)", nil),
+		journal: obs.NewHistogram("turbosynd_journal_append_seconds",
+			"latency of one job-journal append", nil),
+	}
+}
+
+// all lists the histograms in stable exposition order.
+func (m daemonMetrics) all() []*obs.Histogram {
+	return []*obs.Histogram{m.admission, m.queueWait, m.run, m.journal}
+}
+
+// LatencySummary condenses one histogram for /statz: totals plus
+// interpolated p50/p99 (see obs.Histogram.Quantile for the accuracy
+// caveat).
+type LatencySummary struct {
+	Count      uint64  `json:"count"`
+	SumSeconds float64 `json:"sum_seconds"`
+	P50Seconds float64 `json:"p50_seconds"`
+	P99Seconds float64 `json:"p99_seconds"`
+}
+
+func summarize(h *obs.Histogram) LatencySummary {
+	return LatencySummary{
+		Count:      h.Count(),
+		SumSeconds: h.Sum(),
+		P50Seconds: h.Quantile(0.50),
+		P99Seconds: h.Quantile(0.99),
+	}
+}
+
+func (m daemonMetrics) summary() map[string]LatencySummary {
+	return map[string]LatencySummary{
+		"admission":      summarize(m.admission),
+		"queue_wait":     summarize(m.queueWait),
+		"run":            summarize(m.run),
+		"journal_append": summarize(m.journal),
+	}
+}
+
+// tenantAccount is the server-side per-tenant occupancy record, beyond
+// what the queue itself tracks: jobs currently executing, accepted jobs
+// shed by reason (drain, recovery, queue), and submissions the server
+// rejected before the queue ever saw them (memory headroom, draining).
+type tenantAccount struct {
+	running  int64
+	shed     map[string]uint64
+	rejected map[string]uint64
+}
+
+func (s *Server) tenantAccount(tenant string) *tenantAccount {
+	ta := s.tenantAcct[tenant]
+	if ta == nil {
+		ta = &tenantAccount{}
+		s.tenantAcct[tenant] = ta
+	}
+	return ta
+}
+
+func (s *Server) tenantRunning(tenant string, delta int64) {
+	s.tenantMu.Lock()
+	s.tenantAccount(tenant).running += delta
+	s.tenantMu.Unlock()
+}
+
+func (s *Server) tenantShed(tenant, reason string) {
+	s.tenantMu.Lock()
+	ta := s.tenantAccount(tenant)
+	if ta.shed == nil {
+		ta.shed = map[string]uint64{}
+	}
+	ta.shed[reason]++
+	s.tenantMu.Unlock()
+}
+
+func (s *Server) tenantRejected(tenant, reason string) {
+	s.tenantMu.Lock()
+	ta := s.tenantAccount(tenant)
+	if ta.rejected == nil {
+		ta.rejected = map[string]uint64{}
+	}
+	ta.rejected[reason]++
+	s.tenantMu.Unlock()
+}
+
+// TenantInfo is one tenant's merged accounting row: queue counters
+// (queued, served, queue-side rejections) joined with the server-side
+// gauges (running, shed-by-reason, pre-queue rejections) and the
+// fair-share deficit — how many fewer jobs this tenant has been served
+// than the most-served tenant, i.e. how far behind the fair-share leader
+// it runs (0 for the leader).
+type TenantInfo struct {
+	Tenant           string            `json:"tenant"`
+	Queued           int               `json:"queued"`
+	Running          int64             `json:"running"`
+	Served           int               `json:"served"`
+	ShedByReason     map[string]uint64 `json:"shed_by_reason,omitempty"`
+	Rejected         map[string]uint64 `json:"rejected,omitempty"`
+	FairShareDeficit int               `json:"fair_share_deficit"`
+}
+
+// tenantInfo joins the queue's tenant stats with the server's accounts.
+func (s *Server) tenantInfo(qs jobqueue.Stats) []TenantInfo {
+	rows := map[string]*TenantInfo{}
+	row := func(name string) *TenantInfo {
+		r := rows[name]
+		if r == nil {
+			r = &TenantInfo{Tenant: name}
+			rows[name] = r
+		}
+		return r
+	}
+	maxServed := 0
+	for _, ts := range qs.Tenants {
+		r := row(ts.Tenant)
+		r.Queued, r.Served = ts.Queued, ts.Served
+		if ts.Served > maxServed {
+			maxServed = ts.Served
+		}
+		for reason, n := range ts.Rejected {
+			if r.Rejected == nil {
+				r.Rejected = map[string]uint64{}
+			}
+			r.Rejected[string(reason)] += n
+		}
+	}
+	s.tenantMu.Lock()
+	for name, ta := range s.tenantAcct {
+		r := row(name)
+		r.Running = ta.running
+		for reason, n := range ta.shed {
+			if r.ShedByReason == nil {
+				r.ShedByReason = map[string]uint64{}
+			}
+			r.ShedByReason[reason] += n
+		}
+		for reason, n := range ta.rejected {
+			if r.Rejected == nil {
+				r.Rejected = map[string]uint64{}
+			}
+			r.Rejected[reason] += n
+		}
+	}
+	s.tenantMu.Unlock()
+	out := make([]TenantInfo, 0, len(rows))
+	for _, r := range rows {
+		r.FairShareDeficit = maxServed - r.Served
+		out = append(out, *r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Tenant < out[j].Tenant })
+	return out
+}

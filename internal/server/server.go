@@ -54,6 +54,13 @@ type Config struct {
 	// CacheDir is the shared persistent decomposition cache; warm entries
 	// are shared across jobs and tenants ("" disables).
 	CacheDir string
+	// TraceRingCap sizes each ring of a job's stitched daemon+engine trace,
+	// in events (default 1024, ~48 KiB per ring; -1 disables per-job
+	// tracing — GET /jobs/{id}/trace then answers 404).
+	TraceRingCap int
+	// ProgressInterval is the engine's progress-snapshot cadence pushed to
+	// progress-stream subscribers (default 250ms).
+	ProgressInterval time.Duration
 	// Logger receives structured serving logs (nil = silent).
 	Logger *slog.Logger
 }
@@ -76,6 +83,15 @@ func (c Config) fill() Config {
 	}
 	if c.DrainTimeout <= 0 {
 		c.DrainTimeout = 30 * time.Second
+	}
+	if c.TraceRingCap == 0 {
+		c.TraceRingCap = 1024
+	}
+	if c.TraceRingCap < 0 {
+		c.TraceRingCap = 0 // 0 = disabled from here on
+	}
+	if c.ProgressInterval <= 0 {
+		c.ProgressInterval = 250 * time.Millisecond
 	}
 	return c
 }
@@ -108,13 +124,22 @@ type Server struct {
 	shed      atomic.Uint64
 	running   atomic.Int64
 	recovered atomic.Uint64
+
+	// Latency histograms and per-tenant accounting (metrics.go).
+	metrics daemonMetrics
+
+	tenantMu   sync.Mutex
+	tenantAcct map[string]*tenantAccount
 }
 
 // New builds the server: it replays and compacts the journal, re-admits
 // every recovered job, and readies (but does not start) the worker fleet.
 func New(cfg Config) (*Server, error) {
 	cfg = cfg.fill()
-	s := &Server{cfg: cfg, queue: jobqueue.New(cfg.Queue), jobs: map[string]*Job{}}
+	s := &Server{
+		cfg: cfg, queue: jobqueue.New(cfg.Queue), jobs: map[string]*Job{},
+		metrics: newDaemonMetrics(), tenantAcct: map[string]*tenantAccount{},
+	}
 	s.runCtx, s.cancelRun = context.WithCancel(context.Background())
 
 	var pending []PendingJob
@@ -147,15 +172,17 @@ func New(cfg Config) (*Server, error) {
 // (capacity, tenant quota — rate limits are exempt), the job is reported
 // shed rather than silently dropped.
 func (s *Server) readmit(pj PendingJob) {
-	job := newJob(pj.ID, pj.Seq, pj.Spec, time.Now())
+	job := newJob(pj.ID, pj.Seq, pj.Spec, time.Now(), s.cfg.TraceRingCap)
 	job.recovered = true
 	s.mu.Lock()
 	s.jobs[job.ID] = job
 	s.mu.Unlock()
 	s.reserveMem()
 	s.recovered.Add(1)
+	job.enqueuedAt = job.traceNow()
 	if _, err := s.queue.EnqueueExempt(tenantOf(pj.Spec), pj.Spec.Priority, job); err != nil {
-		s.finishJob(job, StateShed, ResultMeta{}, nil, shedError("not resumable after restart: "+err.Error()))
+		job.enqueuedAt = 0 // never queued; the trace gets a bare shed instant
+		s.shedJob(job, "recovery", shedError("not resumable after restart: "+err.Error()))
 		return
 	}
 	s.logf("job recovered", "job", job.ID, "tenant", tenantOf(pj.Spec))
@@ -185,9 +212,20 @@ func (s *Server) worker() {
 			return
 		}
 		job := it.Payload.(*Job)
+		// The dequeue hand-off makes this worker the trace ring's owner:
+		// close the queue-wait span and open the dispatch window.
+		if job.ring != nil {
+			job.ring.Span(obs.OpQueueWait, job.enqueuedAt, -1, -1)
+			job.dispatchStart = job.traceNow()
+		}
+		job.started = time.Now()
+		s.metrics.queueWait.Observe(job.started.Sub(job.Queued).Seconds())
+		tenant := tenantOf(job.Spec)
 		job.setState(StateAdmitted)
 		s.running.Add(1)
+		s.tenantRunning(tenant, 1)
 		s.execJob(job)
+		s.tenantRunning(tenant, -1)
 		s.running.Add(-1)
 	}
 }
@@ -216,7 +254,14 @@ func (s *Server) execJob(job *Job) {
 	}
 	opts.RunID = job.ID
 	opts.Logger = s.cfg.Logger
-	opts.Progress = func(snap obs.Snapshot) { job.snap.Store(&snap) }
+	opts.ProgressInterval = s.cfg.ProgressInterval
+	opts.Progress = func(snap obs.Snapshot) {
+		job.snap.Store(&snap)
+		job.publish(job.Status())
+	}
+	// Hand the job's recorder to the engine: its worker rings land next to
+	// the daemon ring, on the same clock — one stitched timeline.
+	opts.Trace = job.rec
 
 	ctx, cancel := context.WithTimeout(s.runCtx, job.Spec.timeout(s.cfg))
 	defer cancel()
@@ -244,15 +289,59 @@ func (s *Server) execJob(job *Job) {
 	s.finishJob(job, StateDone, meta, blif.buf, nil)
 }
 
+// shedJob is finishJob for jobs given up without running, tagging the shed
+// reason for the per-tenant gauges ("drain", "recovery", ...).
+func (s *Server) shedJob(job *Job, reason string, errInfo *ErrorInfo) {
+	s.tenantShed(tenantOf(job.Spec), reason)
+	s.finishJob(job, StateShed, ResultMeta{}, nil, errInfo)
+}
+
 // finishJob moves a job to its terminal state, journals the transition,
 // releases its admission reservation and bumps the lifetime counters. A
 // journal failure here is logged, not fatal: the in-memory answer stands,
 // and the crash-recovery worst case is one duplicate re-run.
+//
+// Ordering matters for the stitched trace: every daemon span is written
+// before job.finish makes the terminal state visible, because terminal
+// visibility is what licenses the trace handler to read the rings.
 func (s *Server) finishJob(job *Job, state State, meta ResultMeta, blif []byte, errInfo *ErrorInfo) {
-	job.finish(state, meta, blif, errInfo)
-	if err := s.journal.Terminal(job.ID, state, errInfo); err != nil {
-		s.logf("journal terminal failed", "job", job.ID, "err", err.Error())
+	if job.ring != nil {
+		if job.dispatchStart > 0 {
+			ok := int64(0)
+			if state == StateDone {
+				ok = 1
+			}
+			job.ring.Span(obs.OpDispatch, job.dispatchStart, ok, -1)
+		} else {
+			// Shed without ever running: close the queue-wait span (when the
+			// job reached the queue at all) and mark the shed.
+			if job.enqueuedAt > 0 {
+				job.ring.Span(obs.OpQueueWait, job.enqueuedAt, 0, -1)
+			}
+			job.ring.Instant(obs.OpShed, -1, -1)
+		}
 	}
+	// job.started, not dispatchStart, is the "was dispatched" predicate
+	// here: dispatchStart exists only when the trace ring does, and the run
+	// histogram must fill with tracing disabled too.
+	if !job.started.IsZero() {
+		s.metrics.run.Observe(time.Since(job.started).Seconds())
+	}
+	jt := job.traceNow()
+	jstart := time.Now()
+	jerr := s.journal.Terminal(job.ID, state, errInfo)
+	s.metrics.journal.Observe(time.Since(jstart).Seconds())
+	if job.ring != nil {
+		b := int64(0)
+		if jerr != nil {
+			b = -1
+		}
+		job.ring.Span(obs.OpJournal, jt, 1, b)
+	}
+	if jerr != nil {
+		s.logf("journal terminal failed", "job", job.ID, "err", jerr.Error())
+	}
+	job.finish(state, meta, blif, errInfo)
 	s.releaseMem()
 	switch state {
 	case StateDone:
@@ -272,7 +361,10 @@ func (s *Server) finishJob(job *Job, state State, meta ResultMeta, blif []byte, 
 // or a journal error. The HTTP layer maps rejections to 429/503 +
 // Retry-After.
 func (s *Server) Submit(spec JobSpec) (*Job, error) {
+	admitStart := time.Now()
+	defer func() { s.metrics.admission.Observe(time.Since(admitStart).Seconds()) }()
 	if s.draining.Load() {
+		s.tenantRejected(tenantOf(spec), "draining")
 		return nil, &jobqueue.RejectError{Reason: jobqueue.ReasonClosed, Tenant: tenantOf(spec)}
 	}
 	// Memory-budget headroom: every admitted job reserves PerJobArena bytes
@@ -280,6 +372,7 @@ func (s *Server) Submit(spec JobSpec) (*Job, error) {
 	if s.cfg.MemBudget > 0 {
 		if s.memReserved.Add(int64(s.cfg.PerJobArena)) > s.cfg.MemBudget {
 			s.memReserved.Add(-int64(s.cfg.PerJobArena))
+			s.tenantRejected(tenantOf(spec), "memory")
 			return nil, &jobqueue.RejectError{
 				Reason: jobqueue.ReasonQueueFull, Tenant: tenantOf(spec), RetryAfter: time.Second,
 			}
@@ -287,23 +380,38 @@ func (s *Server) Submit(spec JobSpec) (*Job, error) {
 	}
 	s.mu.Lock()
 	s.seq++
-	job := newJob(fmt.Sprintf("j-%08d", s.seq), s.seq, spec, time.Now())
+	job := newJob(fmt.Sprintf("j-%08d", s.seq), s.seq, spec, time.Now(), s.cfg.TraceRingCap)
 	s.jobs[job.ID] = job
 	s.mu.Unlock()
+	admitT := job.traceNow()
 
 	// Durability first: the journal record lands before the queue accepts
 	// the job — an unjournalable job is refused outright, because accepting
 	// it would promise a durability the daemon cannot deliver.
-	if err := s.journal.Accepted(job); err != nil {
+	jt := job.traceNow()
+	jstart := time.Now()
+	err := s.journal.Accepted(job)
+	s.metrics.journal.Observe(time.Since(jstart).Seconds())
+	if err != nil {
 		s.forgetJob(job)
 		s.releaseMem()
 		return nil, err
 	}
+	if job.ring != nil {
+		job.ring.Span(obs.OpJournal, jt, 0, 0)
+		// The admission span and the enqueue anchor are written before
+		// Enqueue: once the queue holds the job a worker may dequeue it and
+		// take over the ring, so the submitting goroutine must be done
+		// writing by then.
+		job.ring.Span(obs.OpAdmit, admitT, 1, -1)
+	}
+	job.enqueuedAt = job.traceNow()
 	if _, err := s.queue.Enqueue(tenantOf(spec), spec.Priority, job); err != nil {
 		// Journal the shed terminal so the accepted record does not dangle.
 		if terr := s.journal.Terminal(job.ID, StateShed, shedError(err.Error())); terr != nil {
 			s.logf("journal terminal failed", "job", job.ID, "err", terr.Error())
 		}
+		s.tenantShed(tenantOf(spec), "queue")
 		s.forgetJob(job)
 		s.releaseMem()
 		return nil, err
@@ -398,7 +506,7 @@ func (s *Server) drain(ctx context.Context) error {
 			break
 		}
 		job := it.Payload.(*Job)
-		s.finishJob(job, StateShed, ResultMeta{}, nil, shedError("daemon drained before the job started"))
+		s.shedJob(job, "drain", shedError("daemon drained before the job started"))
 	}
 	if err := s.journal.Close(); err != nil {
 		return err
@@ -420,7 +528,9 @@ func (s *Server) Close() error {
 // Draining reports whether the server has stopped admitting.
 func (s *Server) Draining() bool { return s.draining.Load() }
 
-// Stats is the daemon-level accounting snapshot.
+// Stats is the daemon-level accounting snapshot. Its JSON shape is pinned
+// by a golden test (statz_golden_test.go) — dashboard consumers parse it,
+// so field changes must update the golden deliberately.
 type Stats struct {
 	Accepted    uint64         `json:"accepted"`
 	Done        uint64         `json:"done"`
@@ -428,25 +538,43 @@ type Stats struct {
 	Shed        uint64         `json:"shed"`
 	Recovered   uint64         `json:"recovered"`
 	Running     int64          `json:"running"`
+	FleetSize   int            `json:"fleet_size"`
+	Occupancy   float64        `json:"occupancy"`
 	MemReserved int64          `json:"mem_reserved"`
 	MemBudget   int64          `json:"mem_budget"`
 	Draining    bool           `json:"draining"`
 	Queue       jobqueue.Stats `json:"queue"`
+	// Tenants merges queue accounting with the server's own per-tenant
+	// gauges (running, shed-by-reason, fair-share deficit).
+	Tenants []TenantInfo `json:"tenants"`
+	// Latency summarizes the daemon histograms, keyed by stage:
+	// admission, queue_wait, run, journal_append.
+	Latency map[string]LatencySummary `json:"latency"`
 }
 
 // Stats snapshots the daemon counters.
 func (s *Server) Stats() Stats {
+	running := s.running.Load()
+	occupancy := 0.0
+	if s.cfg.Fleet > 0 {
+		occupancy = float64(running) / float64(s.cfg.Fleet)
+	}
+	qs := s.queue.Stats()
 	return Stats{
 		Accepted:    s.accepted.Load(),
 		Done:        s.done.Load(),
 		Failed:      s.failed.Load(),
 		Shed:        s.shed.Load(),
 		Recovered:   s.recovered.Load(),
-		Running:     s.running.Load(),
+		Running:     running,
+		FleetSize:   s.cfg.Fleet,
+		Occupancy:   occupancy,
 		MemReserved: s.memReserved.Load(),
 		MemBudget:   s.cfg.MemBudget,
 		Draining:    s.draining.Load(),
-		Queue:       s.queue.Stats(),
+		Queue:       qs,
+		Tenants:     s.tenantInfo(qs),
+		Latency:     s.metrics.summary(),
 	}
 }
 

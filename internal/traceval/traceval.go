@@ -1,0 +1,76 @@
+// Package traceval validates Chrome/Perfetto trace JSON as written by
+// internal/obs. It is the shared checker behind cmd/tracecheck and the
+// serving-layer tests: both need to prove a trace is loadable (valid JSON,
+// no event Perfetto would reject) before anyone drags it into
+// ui.perfetto.dev, and the daemon tests additionally assert which span
+// names survived a chaos scenario.
+package traceval
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// Event mirrors the subset of the Trace Event Format the recorder emits:
+// "M" metadata, "X" complete spans, "i" instants.
+type Event struct {
+	Name string   `json:"name"`
+	Ph   string   `json:"ph"`
+	Ts   *float64 `json:"ts"`
+	Dur  *float64 `json:"dur"`
+	PID  *int64   `json:"pid"`
+	TID  *int64   `json:"tid"`
+}
+
+// Trace is a parsed, validated trace document.
+type Trace struct {
+	TraceEvents []Event        `json:"traceEvents"`
+	OtherData   map[string]any `json:"otherData"`
+}
+
+// Check parses and validates trace JSON. It fails when the data is not
+// valid trace JSON, contains no events, or contains an event Perfetto
+// would reject (unknown phase, complete span without a duration, negative
+// timestamp, missing pid/tid).
+func Check(data []byte) (*Trace, error) {
+	var tr Trace
+	if err := json.Unmarshal(data, &tr); err != nil {
+		return nil, fmt.Errorf("not valid trace JSON: %w", err)
+	}
+	if len(tr.TraceEvents) == 0 {
+		return nil, fmt.Errorf("trace has no events")
+	}
+	for i, ev := range tr.TraceEvents {
+		switch ev.Ph {
+		case "M":
+			// Metadata events carry no timestamp.
+		case "X":
+			if ev.Dur == nil {
+				return nil, fmt.Errorf("event %d (%s): complete span without dur", i, ev.Name)
+			}
+			fallthrough
+		case "i":
+			if ev.Ts == nil || *ev.Ts < 0 {
+				return nil, fmt.Errorf("event %d (%s): missing or negative ts", i, ev.Name)
+			}
+			if ev.PID == nil || ev.TID == nil {
+				return nil, fmt.Errorf("event %d (%s): missing pid/tid", i, ev.Name)
+			}
+		default:
+			return nil, fmt.Errorf("event %d (%s): unknown phase %q", i, ev.Name, ev.Ph)
+		}
+	}
+	return &tr, nil
+}
+
+// Counts returns a per-span-name census of the trace's non-metadata
+// events.
+func (t *Trace) Counts() map[string]int {
+	counts := map[string]int{}
+	for _, ev := range t.TraceEvents {
+		if ev.Ph != "M" {
+			counts[ev.Name]++
+		}
+	}
+	return counts
+}

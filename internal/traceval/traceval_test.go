@@ -1,4 +1,4 @@
-package main
+package traceval
 
 import (
 	"strings"
@@ -6,7 +6,7 @@ import (
 )
 
 func TestCheckValid(t *testing.T) {
-	tr, err := check([]byte(`{
+	tr, err := Check([]byte(`{
 		"traceEvents": [
 			{"name": "process_name", "ph": "M", "pid": 1, "args": {"name": "turbosyn"}},
 			{"name": "probe", "ph": "X", "ts": 10, "dur": 5.5, "pid": 1, "tid": 2},
@@ -19,6 +19,10 @@ func TestCheckValid(t *testing.T) {
 	}
 	if len(tr.TraceEvents) != 3 {
 		t.Fatalf("got %d events, want 3", len(tr.TraceEvents))
+	}
+	counts := tr.Counts()
+	if counts["probe"] != 1 || counts["cache-hit"] != 1 || counts["process_name"] != 0 {
+		t.Fatalf("Counts() = %v, want probe/cache-hit only", counts)
 	}
 }
 
@@ -35,7 +39,7 @@ func TestCheckRejects(t *testing.T) {
 		"unknownPhase": {`{"traceEvents": [{"name": "x", "ph": "B", "ts": 1, "pid": 1, "tid": 1}]}`, "unknown phase"},
 	} {
 		t.Run(name, func(t *testing.T) {
-			_, err := check([]byte(tc.in))
+			_, err := Check([]byte(tc.in))
 			if err == nil || !strings.Contains(err.Error(), tc.want) {
 				t.Fatalf("err = %v, want substring %q", err, tc.want)
 			}

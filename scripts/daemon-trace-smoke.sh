@@ -1,0 +1,108 @@
+#!/bin/sh
+# Daemon observability smoke (make daemon-trace-smoke): boots a real
+# turbosynd with a journal and a debug mux, runs one generator job end to
+# end over HTTP, and asserts the observability surfaces tell the truth:
+#
+#   1. GET /jobs/{id}/trace downloads a stitched Perfetto trace that passes
+#      tracecheck and contains the daemon lifecycle spans (admission,
+#      queue-wait, journal, dispatch) next to the engine synthesis spans.
+#   2. GET /metrics exposes the lifecycle latency histograms and the
+#      per-tenant gauges.
+#   3. The -debug-addr mux answers /debug/pprof/ and /debug/vars.
+#
+# Artifacts daemon-trace.json and daemon-metrics.txt are left in the
+# working directory for CI to upload (load the trace in
+# https://ui.perfetto.dev). Exits nonzero on the first broken surface.
+set -eu
+
+GO=${GO:-go}
+ADDR=${ADDR:-127.0.0.1:18787}
+DEBUG_ADDR=${DEBUG_ADDR:-127.0.0.1:18788}
+BASE="http://$ADDR"
+DEBUG_BASE="http://$DEBUG_ADDR"
+WORKDIR=$(mktemp -d)
+DAEMON_PID=""
+
+fail() {
+	echo "daemon-trace-smoke: FAIL: $*" >&2
+	exit 1
+}
+
+cleanup() {
+	if [ -n "$DAEMON_PID" ] && kill -0 "$DAEMON_PID" 2>/dev/null; then
+		kill -TERM "$DAEMON_PID" 2>/dev/null || true
+		wait "$DAEMON_PID" 2>/dev/null || true
+	fi
+	rm -rf "$WORKDIR"
+}
+trap cleanup EXIT INT TERM
+
+echo "== build"
+$GO build -o "$WORKDIR/turbosynd" ./cmd/turbosynd
+$GO build -o "$WORKDIR/tracecheck" ./cmd/tracecheck
+
+echo "== start turbosynd on $ADDR (debug mux on $DEBUG_ADDR)"
+# -trace-ring large enough that a bbara run keeps every engine span (the
+# default 1024 wraps and keeps only the most recent events, which is right
+# for production memory bounds but would make this span grep flaky).
+"$WORKDIR/turbosynd" -addr "$ADDR" -journal-dir "$WORKDIR/journal" \
+	-debug-addr "$DEBUG_ADDR" -fleet 2 -trace-ring 32768 >"$WORKDIR/daemon.log" 2>&1 &
+DAEMON_PID=$!
+
+# Wait for the listener (the daemon binds before logging "serving").
+i=0
+until curl -fsS "$BASE/healthz" >/dev/null 2>&1; do
+	i=$((i + 1))
+	[ "$i" -gt 50 ] && { cat "$WORKDIR/daemon.log" >&2; fail "daemon did not become healthy"; }
+	sleep 0.2
+done
+
+echo "== submit one generator job"
+JOB=$(curl -fsS -X POST "$BASE/jobs" -H 'Content-Type: application/json' \
+	-d '{"tenant":"smoke","generator":{"kind":"suite","name":"bbara"}}')
+ID=$(echo "$JOB" | sed -n 's/.*"id":[ ]*"\([^"]*\)".*/\1/p')
+[ -n "$ID" ] || fail "submit returned no id: $JOB"
+echo "   job $ID"
+
+echo "== follow the push progress stream to the terminal status"
+# The NDJSON stream ends when the daemon publishes the terminal status; a
+# 30s curl cap guards against a wedged stream.
+curl -fsS --max-time 30 "$BASE/jobs/$ID/progress" >"$WORKDIR/progress.ndjson" || true
+grep -q '"state":[ ]*"done"' "$WORKDIR/progress.ndjson" || {
+	# Fall back to one status poll so the failure message shows the state.
+	curl -fsS "$BASE/jobs/$ID" >&2 || true
+	fail "job did not stream to state done (see progress.ndjson)"
+}
+
+echo "== fetch and validate the stitched trace"
+curl -fsS "$BASE/jobs/$ID/trace" >daemon-trace.json
+"$WORKDIR/tracecheck" daemon-trace.json
+# Daemon lifecycle spans and engine synthesis spans, on one timeline.
+for span in '"admission"' '"queue-wait"' '"journal"' '"dispatch"' '"flow"' '"probe"'; do
+	grep -q "$span" daemon-trace.json || fail "trace lacks $span spans"
+done
+grep -q '"daemon"' daemon-trace.json || fail "trace lacks the daemon thread"
+
+echo "== scrape /metrics"
+curl -fsS "$BASE/metrics" >daemon-metrics.txt
+for family in \
+	turbosynd_admission_seconds_bucket \
+	turbosynd_queue_wait_seconds_bucket \
+	turbosynd_run_seconds_bucket \
+	turbosynd_journal_append_seconds_bucket \
+	turbosynd_tenant_served_total \
+	turbosynd_fleet_occupancy; do
+	grep -q "$family" daemon-metrics.txt || fail "/metrics lacks $family"
+done
+grep -q 'tenant="smoke"' daemon-metrics.txt || fail "/metrics lacks the smoke tenant"
+
+echo "== poke the debug mux"
+curl -fsS "$DEBUG_BASE/debug/pprof/" >/dev/null || fail "pprof index unreachable"
+curl -fsS "$DEBUG_BASE/debug/vars" | grep -q '"turbosynd"' || fail "/debug/vars lacks turbosynd stats"
+
+echo "== graceful shutdown"
+kill -TERM "$DAEMON_PID"
+wait "$DAEMON_PID" || fail "daemon exited nonzero on SIGTERM drain"
+DAEMON_PID=""
+
+echo "daemon-trace-smoke: PASS (artifacts: daemon-trace.json, daemon-metrics.txt)"
